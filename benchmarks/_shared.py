@@ -1,0 +1,130 @@
+"""Shared, memoized experiment infrastructure for the bench harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.
+Experiments that share inputs (the single-thread suite drives both
+Figure 6 and Figure 7; the multi-programmed mixes drive Figures 4, 5,
+9, and 10) are computed once per pytest session through the caches
+below.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable
+(``tiny`` / ``small`` / ``paper``); benches additionally trim mix
+counts and sweep granularity so a full ``pytest benchmarks/`` run
+stays tractable on a laptop.  Every reduction is printed alongside the
+results.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Sequence, Tuple
+
+from repro import (
+    MultiProgrammedRunner,
+    SingleThreadRunner,
+    build_suite,
+    cross_validated_configs,
+    generate_mixes,
+    get_scale,
+    policy_factory,
+    split_train_test,
+)
+from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.sim.multi import MixResult
+from repro.sim.single import BenchmarkResult
+from repro.traces.mixes import Mix
+from repro.traces.trace import Segment
+
+SCALE = get_scale()
+
+# Bench-level reductions on top of the scale (documented in output).
+MULTI_SEGMENT_ACCESSES = max(4_000, SCALE.segment_accesses // 3)
+MULTI_TEST_MIXES = 8     # test mixes replayed by Figures 4 and 5
+SWEEP_MIXES = 4          # mixes used by the Figure 9/10 ablation sweeps
+
+
+def header(title: str, notes: str = "") -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    if notes:
+        print(notes)
+    print(f"(scale={SCALE.name}, segment_accesses={SCALE.segment_accesses})")
+    print("=" * 78)
+
+
+@functools.lru_cache(maxsize=None)
+def single_thread_suite() -> Dict[str, List[Segment]]:
+    return build_suite(SCALE.hierarchy.llc_bytes, SCALE.segment_accesses)
+
+
+@functools.lru_cache(maxsize=None)
+def single_thread_runner() -> SingleThreadRunner:
+    return SingleThreadRunner(
+        SCALE.hierarchy, warmup_fraction=SCALE.warmup_fraction
+    )
+
+
+def mpppb_cv_factory(config: MPPPBConfig):
+    return lambda num_sets, ways: MPPPBPolicy(num_sets, ways, config)
+
+
+@functools.lru_cache(maxsize=None)
+def single_thread_results(policy: str) -> Dict[str, BenchmarkResult]:
+    """Suite results for one policy name (cross-validated for MPPPB)."""
+    suite = single_thread_suite()
+    runner = single_thread_runner()
+    if policy == "mpppb":
+        configs = cross_validated_configs(list(suite))
+        return {
+            name: runner.run_benchmark(name, suite[name],
+                                       mpppb_cv_factory(configs[name]))
+            for name in sorted(suite)
+        }
+    return runner.run_suite(suite, policy_factory(policy))
+
+
+# -- multi-programmed ------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def multi_runner() -> MultiProgrammedRunner:
+    return MultiProgrammedRunner(
+        SCALE.multi_hierarchy, warmup_fraction=SCALE.warmup_fraction
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def multi_mixes() -> Tuple[List[Mix], List[Mix]]:
+    """(train, test) mixes following the paper's leading-split rule."""
+    suite = build_suite(SCALE.hierarchy.llc_bytes, MULTI_SEGMENT_ACCESSES)
+    segments = [s for name in sorted(suite) for s in suite[name]]
+    mixes = generate_mixes(segments, SCALE.mix_count)
+    return split_train_test(mixes, SCALE.train_mix_count)
+
+
+@functools.lru_cache(maxsize=None)
+def multi_results(policy: str) -> List[MixResult]:
+    """Test-mix results for one policy name (capped for bench runtime)."""
+    _, test = multi_mixes()
+    runner = multi_runner()
+    return [
+        runner.run_mix(mix, policy_factory(policy))
+        for mix in test[:MULTI_TEST_MIXES]
+    ]
+
+
+def run_mixes_with_config(config: MPPPBConfig, mixes: Sequence[Mix]) -> List[MixResult]:
+    runner = multi_runner()
+    factory = mpppb_cv_factory(config)
+    return [runner.run_mix(mix, factory) for mix in mixes]
+
+
+def print_s_curve(name: str, values: Sequence[float], buckets: int = 12) -> None:
+    """Print an S-curve as evenly sampled quantiles."""
+    ordered = sorted(values)
+    samples = []
+    for i in range(buckets):
+        idx = min(len(ordered) - 1, int(i * (len(ordered) - 1) / max(1, buckets - 1)))
+        samples.append(ordered[idx])
+    series = " ".join(f"{v:6.3f}" for v in samples)
+    print(f"  {name:12s} {series}")

@@ -1,0 +1,64 @@
+"""Ablation: MPPPB's default replacement substrate (Section 3.7).
+
+The paper runs MPPPB over static MDPP for single-thread workloads and
+over SRRIP for multi-programmed ones, noting that "SRRIP provides
+performance comparable to MDPP" while being simpler to tune.  This
+bench runs the same features over both substrates (and the substrates
+alone, without prediction) on the single-thread suite sample.
+"""
+
+from __future__ import annotations
+
+from _shared import SCALE, header, single_thread_runner, single_thread_suite
+from repro import policy_factory, single_thread_config
+from repro.core.mpppb import MPPPBPolicy
+from repro.util.stats import arithmetic_mean
+
+EVAL_BENCHMARKS = ("soplex", "sphinx3", "mcf", "dealII", "wrf", "lbm",
+                   "omnetpp", "gamess")
+
+
+def run_experiment():
+    suite = single_thread_suite()
+    runner = single_thread_runner()
+    segments = [s for name in EVAL_BENCHMARKS for s in suite[name]]
+
+    def avg(factory):
+        return arithmetic_mean(
+            [runner.run_segment(s, factory).mpki for s in segments]
+        )
+
+    mdpp_config = single_thread_config("a")
+    srrip_config = single_thread_config(
+        "a", default_policy="srrip", placements=(3, 3, 2)
+    )
+    return {
+        "lru (no prediction)": avg(policy_factory("lru")),
+        "mdpp (no prediction)": avg(policy_factory("mdpp")),
+        "srrip (no prediction)": avg(policy_factory("srrip")),
+        "mpppb over mdpp": avg(lambda ns, w: MPPPBPolicy(ns, w, mdpp_config)),
+        "mpppb over srrip": avg(lambda ns, w: MPPPBPolicy(ns, w, srrip_config)),
+    }
+
+
+def print_results(sweep) -> None:
+    header(
+        "Ablation - MPPPB default replacement substrate",
+        "Paper: MDPP (single-thread) vs SRRIP (multi-core) are comparable.",
+    )
+    for name, mpki in sweep.items():
+        print(f"  {name:24s}: {mpki:.3f} MPKI")
+
+
+def test_ablation_default_policy(benchmark, capsys):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_results(sweep)
+
+    # Shape: prediction helps over both substrates, and the two MPPPB
+    # variants land in the same neighborhood (the paper's
+    # "comparable performance" claim).
+    assert sweep["mpppb over mdpp"] < sweep["lru (no prediction)"]
+    assert sweep["mpppb over srrip"] < sweep["lru (no prediction)"]
+    ratio = sweep["mpppb over mdpp"] / sweep["mpppb over srrip"]
+    assert 0.8 < ratio < 1.25

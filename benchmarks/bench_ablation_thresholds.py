@@ -1,0 +1,62 @@
+"""Ablation: the bypass threshold tau_0 (Section 5.5 methodology).
+
+The paper sets the bypass threshold first, by exhaustive search, before
+randomizing the placement thresholds.  This bench sweeps tau_0 around
+the tuned default and reports single-thread MPKI plus the bypass rate,
+exposing the tradeoff the ROC analysis of Figure 8(b) describes: too
+aggressive bypassing inflates misses, too timid bypassing wastes the
+optimization.
+"""
+
+from __future__ import annotations
+
+from _shared import SCALE, header, single_thread_runner, single_thread_suite
+from repro import single_thread_config
+from repro.core.mpppb import MPPPBPolicy
+from repro.util.stats import arithmetic_mean
+
+TAU0_VALUES = (30, 60, 90, 150, 255)
+EVAL_BENCHMARKS = ("soplex", "sphinx3", "mcf", "dealII", "lbm", "gamess")
+
+
+def run_experiment():
+    suite = single_thread_suite()
+    runner = single_thread_runner()
+    segments = [s for name in EVAL_BENCHMARKS for s in suite[name]]
+    sweep = {}
+    for tau0 in TAU0_VALUES:
+        # Keep the placement cascade feasible under the low tau_0
+        # settings (tau_0 >= tau_1 > tau_2 > tau_3 is enforced).
+        taus = (min(50, int(tau0 * 0.6)), min(20, int(tau0 * 0.25)), -20)
+        config = single_thread_config("a", tau_bypass=tau0, taus=taus)
+        factory = lambda ns, w: MPPPBPolicy(ns, w, config)
+        results = [runner.run_segment(s, factory) for s in segments]
+        mpki = arithmetic_mean([r.mpki for r in results])
+        bypass_rate = sum(r.llc_bypasses for r in results) / max(
+            1, sum(r.llc_misses for r in results)
+        )
+        sweep[tau0] = (mpki, bypass_rate)
+    return sweep
+
+
+def print_results(sweep) -> None:
+    header(
+        "Ablation - bypass threshold tau_0",
+        "Tuned default tau_0 = 90; bypass rate is bypasses per miss.",
+    )
+    for tau0, (mpki, rate) in sweep.items():
+        print(f"  tau_0={tau0:4d}: {mpki:7.3f} MPKI, bypass rate {rate:.3f}")
+
+
+def test_ablation_thresholds(benchmark, capsys):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_results(sweep)
+
+    rates = [rate for _, rate in sweep.values()]
+    # Shape: lowering tau_0 monotonically increases the bypass rate.
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+    # The tuned default is no worse than the extremes.
+    default_mpki = sweep[90][0]
+    assert default_mpki <= sweep[255][0] + 0.5
+    assert default_mpki <= sweep[30][0] + 0.5

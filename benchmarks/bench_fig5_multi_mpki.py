@@ -1,0 +1,52 @@
+"""Figure 5: MPKI for 4-core multi-programmed workloads (Section 6.1.2).
+
+Paper numbers: arithmetic-mean MPKI of 10.97 for MPPPB, 11.72 for
+Hawkeye, 12.49 for Perceptron, 14.1 for LRU — every reuse predictor
+removes misses, MPPPB the most.  The figure's S-curves are sorted
+descending (worst-to-best); we print sampled quantiles.
+"""
+
+from __future__ import annotations
+
+from _shared import (MULTI_TEST_MIXES, header, multi_mixes,
+                     multi_results, print_s_curve)
+from repro.util.stats import arithmetic_mean
+
+POLICIES = ("lru", "hawkeye", "perceptron", "mpppb-mp")
+PAPER_MEANS = {"lru": 14.1, "hawkeye": 11.72, "perceptron": 12.49,
+               "mpppb-mp": 10.97}
+
+
+def run_experiment():
+    return {
+        policy: [r.mpki for r in multi_results(policy)]
+        for policy in POLICIES
+    }
+
+
+def print_results(mpkis) -> None:
+    _, test = multi_mixes()
+    header(
+        "Figure 5 - MPKI, 4-core mixes",
+        f"{min(len(test), MULTI_TEST_MIXES)} test mixes (paper: 900); paper means: "
+        "MPPPB 10.97 < Hawkeye 11.72 < Perceptron 12.49 < LRU 14.1.",
+    )
+    print("S-curves (sampled quantiles, descending = worst to best):")
+    for policy in POLICIES:
+        print_s_curve(policy, sorted(mpkis[policy], reverse=True))
+    print("-" * 64)
+    for policy in POLICIES:
+        print(f"{policy:12s} mean MPKI = {arithmetic_mean(mpkis[policy]):7.3f} "
+              f"(paper {PAPER_MEANS[policy]})")
+
+
+def test_fig5_multi_mpki(benchmark, capsys):
+    mpkis = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_results(mpkis)
+
+    means = {p: arithmetic_mean(mpkis[p]) for p in POLICIES}
+    # Shape: every predictor-driven policy removes misses versus LRU.
+    assert means["mpppb-mp"] < means["lru"]
+    assert means["hawkeye"] < means["lru"]
+    assert means["perceptron"] < means["lru"]

@@ -1,0 +1,55 @@
+"""Figure 7: misses per 1000 instructions per single-thread benchmark
+(Section 6.2.2).
+
+Paper numbers: arithmetic-mean MPKI of 3.5 for MPPPB, 3.7 for
+Perceptron, 3.8 for Hawkeye (2 MB LLC; absolute values are not
+comparable across substrates — see EXPERIMENTS.md — the target is the
+ordering: MPPPB < Perceptron/Hawkeye < LRU, with MIN below everything).
+"""
+
+from __future__ import annotations
+
+from _shared import header, single_thread_results
+from repro.util.stats import arithmetic_mean
+
+POLICIES = ("lru", "hawkeye", "perceptron", "mpppb", "min")
+PAPER_MEANS = {"lru": None, "hawkeye": 3.8, "perceptron": 3.7,
+               "mpppb": 3.5, "min": None}
+
+
+def run_experiment():
+    return {policy: single_thread_results(policy) for policy in POLICIES}
+
+
+def print_results(results) -> None:
+    header(
+        "Figure 7 - MPKI for single-thread workloads",
+        "Paper means: MPPPB 3.5 < Perceptron 3.7 < Hawkeye 3.8.",
+    )
+    benchmarks = sorted(results["lru"],
+                        key=lambda n: -results["lru"][n].mpki)
+    print(f"{'benchmark':16s} " + " ".join(f"{p:>11s}" for p in POLICIES))
+    for name in benchmarks:
+        row = " ".join(f"{results[p][name].mpki:11.3f}" for p in POLICIES)
+        print(f"{name:16s} {row}")
+    print("-" * 64)
+    for policy in POLICIES:
+        mean = arithmetic_mean([r.mpki for r in results[policy].values()])
+        paper = PAPER_MEANS[policy]
+        suffix = f" (paper {paper})" if paper else ""
+        print(f"{policy:16s} mean MPKI = {mean:7.3f}{suffix}")
+
+
+def test_fig7_single_mpki(benchmark, capsys):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_results(results)
+
+    means = {p: arithmetic_mean([r.mpki for r in results[p].values()])
+             for p in POLICIES}
+    # Shape: every reuse predictor removes misses relative to LRU, and
+    # MIN lower-bounds all of them.
+    assert means["mpppb"] < means["lru"]
+    assert means["perceptron"] < means["lru"]
+    assert means["hawkeye"] < means["lru"]
+    assert means["min"] <= min(means[p] for p in POLICIES if p != "min") + 1e-9

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Mini version of the paper's Section 5 feature search.
+
+Randomly samples feature sets, evaluates each by average MPKI with the
+fast (MPKI-only) simulator, then refines the best candidate by
+hill-climbing — the same two-stage methodology whose full-size version
+consumed "approximately 10 CPU years" (Section 5.1).
+
+Run with::
+
+    python examples/feature_search.py
+"""
+
+from repro import get_scale, policy_factory
+from repro.search import FeatureSetEvaluator, hill_climb, random_search
+from repro.traces.workloads import all_segments
+
+TRAIN_BENCHMARKS = ("soplex", "sphinx3", "lbm", "gamess")
+
+
+def main() -> None:
+    scale = get_scale()
+    segments = all_segments(
+        scale.hierarchy.llc_bytes,
+        max(4_000, scale.segment_accesses // 4),
+        names=TRAIN_BENCHMARKS,
+    )
+    evaluator = FeatureSetEvaluator(
+        segments, scale.hierarchy, warmup_fraction=scale.warmup_fraction
+    )
+
+    lru = evaluator.baseline_mpki(policy_factory("lru"))
+    optimal = evaluator.baseline_mpki(policy_factory("min"))
+    print(f"Reference lines: LRU mpki={lru:.3f}, MIN mpki={optimal:.3f}\n")
+
+    num_candidates = max(6, scale.random_feature_sets // 4)
+    print(f"Random search over {num_candidates} feature sets...")
+    candidates = random_search(evaluator, num_candidates, seed=42)
+    print(f"  worst random: {candidates[-1].mpki:.3f} mpki")
+    print(f"  best random:  {candidates[0].mpki:.3f} mpki")
+
+    steps = max(4, scale.hillclimb_steps // 2)
+    print(f"\nHill-climbing the best candidate for {steps} steps...")
+    refined = hill_climb(evaluator, candidates[0].features, steps=steps, seed=7)
+    print(f"  refined:      {refined.mpki:.3f} mpki "
+          f"({refined.improvements} accepted moves)")
+
+    print("\nBest feature set found:")
+    for feature in refined.features:
+        print(f"  {feature.spec()}")
+
+
+if __name__ == "__main__":
+    main()

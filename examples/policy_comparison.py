@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare every cache management policy on a slice of the suite.
+
+Reproduces the flavor of the paper's Section 6.2 evaluation on a small
+set of benchmarks that span the locality spectrum: a streaming
+workload (``lbm``), a pointer-chaser (``mcf``), an LRU-hostile
+working set (``sphinx3``), and a cache-friendly one (``gamess``).
+
+Run with::
+
+    python examples/policy_comparison.py [benchmark ...]
+"""
+
+import sys
+
+from repro import (
+    SingleThreadRunner,
+    build_suite,
+    geometric_mean,
+    get_scale,
+    policy_factory,
+    speedups_over_lru,
+)
+
+POLICIES = ("lru", "srrip", "drrip", "mdpp", "sdbp", "hawkeye",
+            "perceptron", "mpppb-1a", "min")
+DEFAULT_BENCHMARKS = ("lbm", "mcf", "sphinx3", "gamess", "soplex")
+
+
+def main() -> None:
+    scale = get_scale()
+    names = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    suite = build_suite(
+        scale.hierarchy.llc_bytes, scale.segment_accesses, names=names
+    )
+    runner = SingleThreadRunner(
+        scale.hierarchy, warmup_fraction=scale.warmup_fraction
+    )
+
+    all_results = {}
+    for policy in POLICIES:
+        all_results[policy] = runner.run_suite(suite, policy_factory(policy))
+
+    width = max(len(n) for n in names)
+    print(f"{'MPKI':>{width + 2}s}  " + "  ".join(f"{p:>10s}" for p in POLICIES))
+    for name in sorted(names):
+        row = "  ".join(
+            f"{all_results[p][name].mpki:10.3f}" for p in POLICIES
+        )
+        print(f"{name:>{width + 2}s}  {row}")
+
+    print(f"\n{'speedup over LRU':>{width + 2}s}")
+    lru = all_results["lru"]
+    for policy in POLICIES[1:]:
+        speedups = speedups_over_lru(all_results[policy], lru)
+        gm = geometric_mean(list(speedups.values()))
+        per_bench = "  ".join(
+            f"{name}={speedups[name]:.3f}" for name in sorted(speedups)
+        )
+        print(f"{policy:>12s}  geomean={gm:.3f}   {per_bench}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the offline
+environment lacks the ``wheel`` package needed by PEP 517 builds."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Cache structures, access contexts, and replacement policies."""
+
+from repro.cache.access import PREFETCH_PC, AccessContext, PCHistory
+from repro.cache.cache import FastLRUCache, SetAssociativeCache
+
+__all__ = [
+    "PREFETCH_PC",
+    "AccessContext",
+    "PCHistory",
+    "FastLRUCache",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,66 @@
+"""The access context shared by replacement policies and predictors.
+
+Every LLC access is described by an :class:`AccessContext`.  The
+hierarchy driver fills in the static fields (PC, address, PC history);
+the LLC simulator and policies fill in the dynamic fields that depend
+on cache state (insertion, MRU hit, per-set last-miss bit) just before
+consulting a predictor.  These dynamic fields are exactly the inputs of
+the paper's single-bit features (Section 3.2): ``insert``, ``burst``,
+and ``lastmiss``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+PREFETCH_PC = 0x0BADC0DE
+"""The "fake PC" carried by hardware prefetches (Section 3.2, pc feature)."""
+
+
+@dataclass
+class AccessContext:
+    """One LLC access with everything a reuse predictor may inspect."""
+
+    pc: int
+    address: int
+    block: int
+    offset: int
+    is_write: bool = False
+    is_prefetch: bool = False
+    stream_index: int = 0
+    pc_history: Sequence[int] = ()
+    history_index: int = 0
+    is_insert: bool = False
+    is_mru_hit: bool = False
+    last_was_miss: bool = False
+
+
+class PCHistory:
+    """Per-core shift register of recent memory-access PCs.
+
+    The pc feature indexes the W-th most recent memory access
+    instruction (W = 0 is the current access); the published feature
+    tables use W up to 17, so the register holds 18 entries.
+    """
+
+    DEPTH = 18
+
+    __slots__ = ("_history",)
+
+    def __init__(self) -> None:
+        self._history = [0] * self.DEPTH
+
+    def push(self, pc: int) -> None:
+        history = self._history
+        history.insert(0, pc)
+        history.pop()
+
+    def get(self, w: int) -> int:
+        """PC of the w-th most recent memory access (0 = most recent)."""
+        if 0 <= w < self.DEPTH:
+            return self._history[w]
+        return 0
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._history)

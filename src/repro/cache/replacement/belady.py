@@ -1,0 +1,86 @@
+"""Belady's MIN optimal replacement, extended with optimal bypass.
+
+MIN [Belady 1966] evicts the block whose next use lies farthest in the
+future.  The paper simulates MIN "adapted to also provide optimal
+bypass" as the single-thread upper bound (Section 4.3): when the
+incoming block's own next use is at least as far as every resident
+block's, the fill is bypassed instead of displacing a more useful
+block.
+
+The policy is offline: the LLC simulator precomputes, for every access
+in the LLC stream, the stream index of the next access to the same
+block (``NEVER`` when there is none) and hands it over via
+:meth:`prepare` before the run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+
+NEVER = 1 << 62
+"""Next-use sentinel for blocks that are never referenced again."""
+
+
+def compute_next_uses(blocks: Sequence[int]) -> List[int]:
+    """For each access, the stream index of that block's next access."""
+    next_uses = [NEVER] * len(blocks)
+    last_seen = {}
+    for index in range(len(blocks) - 1, -1, -1):
+        block = blocks[index]
+        next_uses[index] = last_seen.get(block, NEVER)
+        last_seen[block] = index
+    return next_uses
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """MIN with optimal bypass."""
+
+    name = "min"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._next_uses: Sequence[int] = ()
+        self._way_next_use: List[List[int]] = [
+            [NEVER] * ways for _ in range(num_sets)
+        ]
+
+    @property
+    def needs_future(self) -> bool:
+        return True
+
+    def prepare(self, next_uses: Sequence[int]) -> None:
+        self._next_uses = next_uses
+
+    def _incoming_next_use(self, ctx: AccessContext) -> int:
+        if not self._next_uses:
+            raise RuntimeError("BeladyPolicy.prepare was not called")
+        return self._next_uses[ctx.stream_index]
+
+    def should_bypass(self, set_idx: int, ctx: AccessContext) -> bool:
+        incoming = self._incoming_next_use(ctx)
+        if incoming >= NEVER:
+            return True
+        farthest = max(self._way_next_use[set_idx])
+        return incoming >= farthest
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        uses = self._way_next_use[set_idx]
+        victim = 0
+        farthest = uses[0]
+        for way in range(1, self.ways):
+            if uses[way] > farthest:
+                farthest = uses[way]
+                victim = way
+        return victim
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self._way_next_use[set_idx][way] = self._incoming_next_use(ctx)
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self._way_next_use[set_idx][way] = self._incoming_next_use(ctx)
+
+    def on_evict(self, set_idx: int, way: int, block: int) -> None:
+        self._way_next_use[set_idx][way] = NEVER

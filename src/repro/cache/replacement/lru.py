@@ -1,0 +1,68 @@
+"""True LRU replacement with explicit recency-stack positions.
+
+LRU is both the paper's performance baseline (every speedup is reported
+relative to it, Section 4.5) and the replacement policy of every
+predictor sampler (Section 3.8: "only true LRU is used in the
+sampler").  Positions are explicit — position 0 is MRU — because the
+multiperspective features reason about recency-stack positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement.
+
+    Each set keeps a recency stack of ways: ``stack[0]`` is the MRU
+    way and ``stack[-1]`` the LRU victim.  Ways absent from the stack
+    have never been filled.
+    """
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._stacks: List[List[int]] = [[] for _ in range(num_sets)]
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        stack = self._stacks[set_idx]
+        if not stack:
+            raise RuntimeError("choose_victim called on an empty set")
+        return stack[-1]
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        stack = self._stacks[set_idx]
+        if way in stack:
+            stack.remove(way)
+        stack.insert(0, way)
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        stack = self._stacks[set_idx]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def on_evict(self, set_idx: int, way: int, block: int) -> None:
+        stack = self._stacks[set_idx]
+        if way in stack:
+            stack.remove(way)
+
+    def is_mru(self, set_idx: int, way: int) -> bool:
+        stack = self._stacks[set_idx]
+        return bool(stack) and stack[0] == way
+
+    def position(self, set_idx: int, way: int) -> int:
+        """Recency-stack position of ``way`` (0 = MRU); -1 if absent."""
+        stack = self._stacks[set_idx]
+        try:
+            return stack.index(way)
+        except ValueError:
+            return -1
+
+    def stack(self, set_idx: int) -> Sequence[int]:
+        """The recency stack (MRU first) — read-only view for tests."""
+        return tuple(self._stacks[set_idx])

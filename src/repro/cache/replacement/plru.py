@@ -1,0 +1,92 @@
+"""Tree-based pseudo-LRU and its position-addressable generalization.
+
+Tree PLRU keeps ``ways - 1`` direction bits per set, arranged as a
+complete binary tree whose leaves are the ways.  Each bit points toward
+the subtree holding the pseudo-LRU victim; following the bits from the
+root reaches the victim way, and protecting a way flips every bit on
+its root path away from it.
+
+The generalization (used by static MDPP, Section 3.7) is to treat the
+root-path bits of a way as a binary number: the way's *position*.  Bit
+``k`` of the position (``k = 0`` for the deepest level) is 1 when the
+node at that level points **toward** the way.  Position 0 is the most
+protected (classic MRU insertion); position ``ways - 1`` is the
+immediate victim.  Placing or promoting a block to position ``p``
+writes only the ``log2(ways)`` bits on its root path — the "minimal
+disturbance" property: other subtrees are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class PLRUTree:
+    """Direction bits for one cache set."""
+
+    __slots__ = ("ways", "levels", "bits")
+
+    def __init__(self, ways: int) -> None:
+        if ways < 2 or ways & (ways - 1):
+            raise ValueError("tree PLRU needs a power-of-two way count >= 2")
+        self.ways = ways
+        self.levels = ways.bit_length() - 1
+        self.bits: List[int] = [0] * (ways - 1)
+
+    def victim(self) -> int:
+        """Follow the direction bits from the root to the victim way."""
+        node = 0
+        for _ in range(self.levels):
+            node = 2 * node + 1 + self.bits[node]
+        return node - (self.ways - 1)
+
+    def position(self, way: int) -> int:
+        """Read ``way``'s position from its root-path bits."""
+        node = 0
+        position = 0
+        for level in range(self.levels):
+            direction = (way >> (self.levels - 1 - level)) & 1
+            toward = int(self.bits[node] == direction)
+            position = (position << 1) | toward
+            node = 2 * node + 1 + direction
+        return position
+
+    def place(self, way: int, position: int) -> None:
+        """Write ``way``'s root-path bits so it occupies ``position``."""
+        if not 0 <= position < self.ways:
+            raise ValueError(f"position {position} out of range 0..{self.ways - 1}")
+        node = 0
+        for level in range(self.levels):
+            direction = (way >> (self.levels - 1 - level)) & 1
+            toward = (position >> (self.levels - 1 - level)) & 1
+            self.bits[node] = direction if toward else 1 - direction
+            node = 2 * node + 1 + direction
+
+    def promote(self, way: int) -> None:
+        """Classic PLRU touch: point every root-path bit away."""
+        self.place(way, 0)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Plain tree PLRU: MRU insertion, MRU promotion."""
+
+    name = "plru"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self.trees = [PLRUTree(ways) for _ in range(num_sets)]
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        return self.trees[set_idx].victim()
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self.trees[set_idx].promote(way)
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self.trees[set_idx].promote(way)
+
+    def is_mru(self, set_idx: int, way: int) -> bool:
+        return self.trees[set_idx].position(way) == 0

@@ -1,0 +1,32 @@
+"""Random replacement — the simplest possible baseline.
+
+Not evaluated in the paper, but invaluable as a sanity bound in tests:
+any recency-aware policy should beat it on workloads with temporal
+locality.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0xDECAF) -> None:
+        super().__init__(num_sets, ways)
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        return self._rng.randrange(self.ways)
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        pass
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        pass

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points::
+
+    python -m repro.cli compare  --benchmarks soplex mcf --policies lru mpppb-1a
+    python -m repro.cli roc      --benchmark sphinx3
+    python -m repro.cli search   --candidates 20 --steps 10
+    python -m repro.cli mix      --mixes 4 --policies lru mpppb-mp
+
+All commands honor ``--scale`` (or the ``REPRO_SCALE`` environment
+variable) and print the same table layouts the bench harness uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    MultiProgrammedRunner,
+    SingleThreadRunner,
+    TrainedMultiperspective,
+    build_suite,
+    generate_mixes,
+    get_scale,
+    measure_roc,
+    normalized_weighted_speedups,
+    policy_factory,
+    policy_names,
+    single_thread_config,
+)
+from repro.report import (
+    mpki_table,
+    speedup_table,
+    weighted_speedup_summary,
+)
+from repro.traces.workloads import benchmark_names
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="",
+                        help="tiny / small / paper (default: $REPRO_SCALE)")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    names = args.benchmarks or ["soplex", "mcf", "lbm", "gamess"]
+    unknown = set(names) - set(benchmark_names())
+    if unknown:
+        print(f"unknown benchmarks: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    suite = build_suite(scale.hierarchy.llc_bytes, scale.segment_accesses,
+                        names=names)
+    runner = SingleThreadRunner(scale.hierarchy,
+                                warmup_fraction=scale.warmup_fraction)
+    results = {}
+    for policy in args.policies:
+        results[policy] = runner.run_suite(suite, policy_factory(policy))
+    print(mpki_table(results))
+    if "lru" in results and len(results) > 1:
+        print()
+        print(speedup_table(results, baseline="lru"))
+    return 0
+
+
+def cmd_roc(args: argparse.Namespace) -> int:
+    from repro.predictors.perceptron import PerceptronPredictor
+    from repro.predictors.sdbp import SDBPPredictor
+    from repro.sim.hierarchy import UpperLevels
+    from repro.traces.workloads import build_segments
+    from repro.util.stats import auc
+
+    scale = get_scale(args.scale)
+    hierarchy = scale.hierarchy
+    num_sets = hierarchy.llc_bytes // (hierarchy.llc_ways * 64)
+    segment = build_segments(args.benchmark, hierarchy.llc_bytes,
+                             scale.segment_accesses)[0]
+    upper = UpperLevels(hierarchy).run(segment.trace)
+    predictors = {
+        "sdbp": SDBPPredictor(num_sets),
+        "perceptron": PerceptronPredictor(num_sets),
+        "multiperspective": TrainedMultiperspective(
+            single_thread_config("a"), llc_sets=num_sets),
+    }
+    print(f"{'predictor':18s} {'AUC':>6s}")
+    for name, predictor in predictors.items():
+        result = measure_roc(predictor, upper.llc_stream, segment.trace.pcs,
+                             hierarchy.llc_bytes, hierarchy.llc_ways,
+                             warmup=len(upper.llc_stream) // 4)
+        points = result.curve(result.default_thresholds(49))
+        print(f"{name:18s} {auc(points):6.3f}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import FeatureSetEvaluator, hill_climb, random_search
+    from repro.traces.workloads import all_segments
+
+    scale = get_scale(args.scale)
+    segments = all_segments(
+        scale.hierarchy.llc_bytes, max(2_000, scale.segment_accesses // 4),
+        names=["soplex", "lbm", "gamess"],
+    )
+    evaluator = FeatureSetEvaluator(segments, scale.hierarchy,
+                                    warmup_fraction=scale.warmup_fraction)
+    candidates = random_search(evaluator, args.candidates, seed=args.seed)
+    print(f"best random set: {candidates[0].mpki:.3f} MPKI "
+          f"(worst {candidates[-1].mpki:.3f})")
+    refined = hill_climb(evaluator, candidates[0].features, steps=args.steps,
+                         seed=args.seed)
+    print(f"hill-climbed:    {refined.mpki:.3f} MPKI")
+    for feature in refined.features:
+        print(f"  {feature.spec()}")
+    return 0
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    suite = build_suite(scale.hierarchy.llc_bytes,
+                        max(2_000, scale.segment_accesses // 3))
+    segments = [s for name in sorted(suite) for s in suite[name]]
+    mixes = generate_mixes(segments, args.mixes)
+    runner = MultiProgrammedRunner(scale.multi_hierarchy,
+                                   warmup_fraction=scale.warmup_fraction)
+    results = {}
+    for policy in args.policies:
+        results[policy] = [runner.run_mix(m, policy_factory(policy))
+                           for m in mixes]
+    if "lru" not in results:
+        print("note: add 'lru' to --policies for normalized speedups")
+        for policy, mix_results in results.items():
+            ws = [r.weighted_speedup for r in mix_results]
+            print(f"{policy}: raw weighted speedups {[round(v, 3) for v in ws]}")
+        return 0
+    normalized = normalized_weighted_speedups(results, baseline="lru")
+    print(weighted_speedup_summary(
+        {p: v for p, v in normalized.items() if p != "lru"}
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiperspective Reuse Prediction reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="compare policies on benchmarks")
+    compare.add_argument("--benchmarks", nargs="*", default=None,
+                         metavar="NAME")
+    compare.add_argument("--policies", nargs="*",
+                         default=["lru", "mpppb-1a", "min"],
+                         choices=policy_names(), metavar="POLICY")
+    _add_scale(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    roc = sub.add_parser("roc", help="predictor ROC accuracy (Fig. 1/8)")
+    roc.add_argument("--benchmark", default="sphinx3",
+                     choices=benchmark_names())
+    _add_scale(roc)
+    roc.set_defaults(func=cmd_roc)
+
+    search = sub.add_parser("search", help="feature search (Section 5)")
+    search.add_argument("--candidates", type=int, default=10)
+    search.add_argument("--steps", type=int, default=10)
+    search.add_argument("--seed", type=int, default=2017)
+    _add_scale(search)
+    search.set_defaults(func=cmd_search)
+
+    mix = sub.add_parser("mix", help="4-core mixes (Fig. 4)")
+    mix.add_argument("--mixes", type=int, default=3)
+    mix.add_argument("--policies", nargs="*",
+                     default=["lru", "mpppb-mp"],
+                     choices=policy_names(), metavar="POLICY")
+    _add_scale(mix)
+    mix.set_defaults(func=cmd_mix)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Scale configuration for the reproduction.
+
+The paper simulates one-billion-instruction simpoints on a C++
+simulator; a pure-Python reproduction must scale trace lengths, mix
+counts and search budgets down while keeping the *ratios* that drive
+policy behavior (working-set size relative to cache capacity, sampler
+coverage relative to set count) intact.  ``ReproScale`` centralizes
+every such knob; named presets cover unit tests (``tiny``), the
+benchmark harness (``small``, the default) and full-fidelity runs
+(``paper``).
+
+Benches honor the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.sim.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class ReproScale:
+    """Every knob that trades fidelity for runtime.
+
+    Attributes:
+        name: preset name.
+        hierarchy: cache geometry for single-thread runs.
+        multi_hierarchy: cache geometry for 4-core shared-LLC runs.
+        segment_accesses: memory accesses per workload segment.
+        warmup_fraction: leading fraction of each segment used to warm
+            structures before measurement begins (the paper warms with
+            500 M of 1.5 B instructions, i.e. one third).
+        mix_count: total multi-programmed mixes generated.
+        train_mix_count: leading mixes reserved for parameter training
+            (the paper uses 100 of 1000).
+        random_feature_sets: feature sets sampled in the Figure 3
+            random search.
+        hillclimb_steps: hill-climbing iterations per run.
+    """
+
+    name: str
+    hierarchy: HierarchyConfig
+    multi_hierarchy: HierarchyConfig
+    segment_accesses: int
+    warmup_fraction: float
+    mix_count: int
+    train_mix_count: int
+    random_feature_sets: int
+    hillclimb_steps: int
+
+    def with_segment_accesses(self, accesses: int) -> "ReproScale":
+        return replace(self, segment_accesses=accesses)
+
+
+def _single_thread_hierarchy(llc_kib: int) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1_kib=32,
+        l1_ways=8,
+        l2_kib=256,
+        l2_ways=8,
+        llc_kib=llc_kib,
+        llc_ways=16,
+        block_bytes=64,
+    )
+
+
+TINY = ReproScale(
+    name="tiny",
+    hierarchy=HierarchyConfig(
+        l1_kib=4, l1_ways=4, l2_kib=16, l2_ways=8, llc_kib=64, llc_ways=16, block_bytes=64
+    ),
+    multi_hierarchy=HierarchyConfig(
+        l1_kib=4, l1_ways=4, l2_kib=16, l2_ways=8, llc_kib=256, llc_ways=16, block_bytes=64
+    ),
+    segment_accesses=4_000,
+    warmup_fraction=0.25,
+    mix_count=6,
+    train_mix_count=2,
+    random_feature_sets=8,
+    hillclimb_steps=4,
+)
+
+SMALL = ReproScale(
+    name="small",
+    hierarchy=HierarchyConfig(
+        l1_kib=8, l1_ways=8, l2_kib=64, l2_ways=8, llc_kib=512, llc_ways=16, block_bytes=64
+    ),
+    multi_hierarchy=HierarchyConfig(
+        l1_kib=8, l1_ways=8, l2_kib=64, l2_ways=8, llc_kib=2048, llc_ways=16, block_bytes=64
+    ),
+    segment_accesses=60_000,
+    warmup_fraction=0.25,
+    mix_count=24,
+    train_mix_count=4,
+    random_feature_sets=24,
+    hillclimb_steps=12,
+)
+
+PAPER = ReproScale(
+    name="paper",
+    hierarchy=_single_thread_hierarchy(llc_kib=2048),
+    multi_hierarchy=_single_thread_hierarchy(llc_kib=8192),
+    segment_accesses=400_000,
+    warmup_fraction=0.33,
+    mix_count=1000,
+    train_mix_count=100,
+    random_feature_sets=4000,
+    hillclimb_steps=500,
+)
+
+_SCALES = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(name: str = "") -> ReproScale:
+    """Resolve a scale by name, falling back to ``REPRO_SCALE`` or ``small``."""
+    if not name:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

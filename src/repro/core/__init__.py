@@ -1,0 +1,74 @@
+"""The paper's primary contribution: multiperspective reuse prediction
+and the MPPPB cache management policy."""
+
+from repro.core.features import (
+    AddressFeature,
+    BiasFeature,
+    BurstFeature,
+    Feature,
+    InsertFeature,
+    LastMissFeature,
+    OffsetFeature,
+    PCFeature,
+    parse_feature,
+    parse_feature_set,
+    perturb_feature,
+    random_feature,
+    random_feature_set,
+    with_associativity,
+)
+from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.core.predictor import (
+    CONFIDENCE_MAX,
+    CONFIDENCE_MIN,
+    MultiperspectivePredictor,
+)
+from repro.core.presets import (
+    TABLE_1A_SPECS,
+    TABLE_1B_SPECS,
+    TABLE_2_SPECS,
+    multi_core_tuned_config,
+    multi_programmed_config,
+    single_thread_config,
+    table_1a_features,
+    table_1b_features,
+    table_2_features,
+)
+from repro.core.sampler import MultiperspectiveSampler, SamplerEntry
+from repro.core.tables import WEIGHT_MAX, WEIGHT_MIN, WeightTable
+
+__all__ = [
+    "AddressFeature",
+    "BiasFeature",
+    "BurstFeature",
+    "Feature",
+    "InsertFeature",
+    "LastMissFeature",
+    "OffsetFeature",
+    "PCFeature",
+    "parse_feature",
+    "parse_feature_set",
+    "perturb_feature",
+    "random_feature",
+    "random_feature_set",
+    "with_associativity",
+    "MPPPBConfig",
+    "MPPPBPolicy",
+    "CONFIDENCE_MAX",
+    "CONFIDENCE_MIN",
+    "MultiperspectivePredictor",
+    "TABLE_1A_SPECS",
+    "TABLE_1B_SPECS",
+    "TABLE_2_SPECS",
+    "multi_core_tuned_config",
+    "multi_programmed_config",
+    "single_thread_config",
+    "table_1a_features",
+    "table_1b_features",
+    "table_2_features",
+    "MultiperspectiveSampler",
+    "SamplerEntry",
+    "WEIGHT_MAX",
+    "WEIGHT_MIN",
+    "WeightTable",
+]

@@ -1,0 +1,158 @@
+"""The published feature sets and tuned parameter presets.
+
+Tables 1(a), 1(b), and 2 of the paper, encoded verbatim in the
+paper's own notation (with the two typographic quirks noted in
+DESIGN.md: ``pe(...)``/``¢(...)`` OCR artifacts are transcribed as
+``pc``, and the five-parameter ``address(9,9,14,5,1)`` entry of
+Table 2 is accepted by the lenient parser).
+
+The paper developed Tables 1(a) and 1(b) on two random halves of the
+99 single-thread segments by cross-validation — each half is always
+*evaluated* with the features developed on the other half — and
+Table 2 on the first 100 multi-programmed training mixes
+(Sections 5.2 and 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.features import Feature, parse_feature_set
+from repro.core.mpppb import MPPPBConfig
+
+TABLE_1A_SPECS: Tuple[str, ...] = (
+    "bias(16,0)",
+    "burst(6,0)",
+    "insert(16,0)",
+    "insert(16,1)",
+    "insert(17,1)",
+    "insert(8,1)",
+    "lastmiss(9,0)",
+    "offset(10,0,6,1)",
+    "offset(15,1,6,1)",
+    "pc(10,1,53,10,0)",
+    "pc(16,3,11,16,1)",
+    "pc(16,8,16,5,0)",
+    "pc(17,6,20,0,1)",
+    "pc(17,6,20,0,1)",
+    "pc(17,6,20,14,1)",
+    "pc(7,14,43,11,0)",
+)
+
+TABLE_1B_SPECS: Tuple[str, ...] = (
+    "address(11,8,19,0)",
+    "bias(6,1)",
+    "insert(15,0)",
+    "insert(16,1)",
+    "insert(6,1)",
+    "offset(15,1,6,1)",
+    "offset(15,3,7,0)",
+    "pc(11,2,24,4,1)",
+    "pc(15,14,32,6,0)",
+    "pc(15,5,28,0,1)",
+    "pc(16,0,16,8,1)",
+    "pc(17,6,20,0,1)",
+    "pc(6,12,14,10,1)",
+    "pc(7,1,24,11,0)",
+    "pc(7,14,43,11,0)",
+    "pc(8,1,61,11,0)",
+)
+
+TABLE_2_SPECS: Tuple[str, ...] = (
+    "bias(6,0)",
+    "address(9,9,14,5,1)",
+    "address(9,12,29,0)",
+    "address(13,21,29,0)",
+    "address(14,17,25,0)",
+    "lastmiss(6,0)",
+    "lastmiss(18,0)",
+    "offset(13,0,4,0)",
+    "offset(14,0,6,0)",
+    "offset(16,0,1,0)",
+    "pc(6,13,31,4,0)",
+    "pc(9,11,7,16,0)",
+    "pc(13,16,24,17,0)",
+    "pc(16,2,10,2,0)",
+    "pc(16,4,46,9,0)",
+    "pc(17,0,13,5,0)",
+)
+
+
+def table_1a_features() -> Tuple[Feature, ...]:
+    """Single-thread feature set (a) of Table 1."""
+    return parse_feature_set(TABLE_1A_SPECS)
+
+
+def table_1b_features() -> Tuple[Feature, ...]:
+    """Single-thread feature set (b) of Table 1."""
+    return parse_feature_set(TABLE_1B_SPECS)
+
+
+def table_2_features() -> Tuple[Feature, ...]:
+    """Multi-programmed feature set of Table 2."""
+    return parse_feature_set(TABLE_2_SPECS)
+
+
+def single_thread_config(table: str = "a", **overrides) -> MPPPBConfig:
+    """MPPPB over static MDPP with a Table 1 feature set.
+
+    The paper's cross-validation reports each workload half with the
+    features developed on the *other* half; callers implementing that
+    discipline pick ``table`` per workload (see
+    :func:`repro.sim.single.cross_validated_configs`).
+    """
+    features = table_1a_features() if table == "a" else table_1b_features()
+    defaults = dict(
+        default_policy="mdpp",
+        tau_bypass=90,
+        taus=(50, 20, -20),
+        placements=(15, 14, 12),
+        tau_no_promote=70,
+        theta=150,
+    )
+    defaults.update(overrides)
+    return MPPPBConfig(features=features, **defaults)
+
+
+def multi_core_tuned_config(**overrides) -> MPPPBConfig:
+    """The multi-programmed MPPPB preset used for headline results.
+
+    The paper's Table 2 features lean heavily on physical-address bits
+    (four ``address`` features), which carry far less signal under this
+    reproduction's synthetic address layout than under real SPEC
+    physical addresses.  The paper itself observes that the Table 1(a)
+    features "provide reasonable performance for the multi-programmed
+    workloads: 8.0% speedup versus 8.3%" (Section 6.4), so — mirroring
+    the paper's train-mix tuning discipline — the tuned multi-core
+    preset runs the Table 1(a) features over SRRIP.  The verbatim
+    Table 2 configuration remains available via
+    :func:`multi_programmed_config` and is evaluated by
+    ``benchmarks/bench_table2_mp_features.py``; the substitution is
+    recorded in DESIGN.md and EXPERIMENTS.md.
+    """
+    defaults = dict(
+        features=table_1a_features(),
+        default_policy="srrip",
+        tau_bypass=90,
+        taus=(50, 20, -20),
+        placements=(3, 3, 2),
+        tau_no_promote=70,
+        theta=150,
+    )
+    defaults.update(overrides)
+    return MPPPBConfig(**defaults)
+
+
+def multi_programmed_config(**overrides) -> MPPPBConfig:
+    """MPPPB over SRRIP with the verbatim Table 2 feature set."""
+    defaults = dict(
+        features=table_2_features(),
+        default_policy="srrip",
+        tau_bypass=90,
+        taus=(50, 20, -20),
+        placements=(3, 3, 2),
+        tau_no_promote=70,
+        theta=150,
+    )
+    defaults.update(overrides)
+    return MPPPBConfig(**defaults)

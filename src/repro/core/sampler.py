@@ -1,0 +1,171 @@
+"""The multiperspective sampler (Sections 3.3 and 3.8).
+
+A few LLC sets are shadowed by sampler sets of 18 ways, managed with
+**true LRU** regardless of the main cache's default policy.  Each entry
+stores a 16-bit partial tag, the vector of per-feature table indices
+from the block's most recent access, and the 9-bit confidence computed
+at that access.
+
+Training departs from earlier samplers in one crucial way: every
+feature has its own associativity parameter A, so
+
+* on a **reuse** at LRU position ``p``, only features with ``p < A``
+  train "live" (a cache of associativity A would have hit);
+* on any **demotion** that moves a block from position ``A - 1`` to
+  ``A``, that feature trains "dead" — evictions carry no special
+  meaning because leaving position 17 is just the demotion to
+  position 18 for features with A = 18.
+
+Both directions are gated by the hashed-perceptron rule: a table is
+only updated when the entry's stored confidence mispredicted the
+outcome or its magnitude is below the training threshold theta.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.access import AccessContext
+from repro.core.predictor import MultiperspectivePredictor
+from repro.predictors.base import SetSampler, partial_tag
+
+SAMPLER_WAYS = 18
+DEFAULT_THETA = 40
+
+
+class SamplerEntry:
+    """One sampled block: partial tag + training metadata."""
+
+    __slots__ = ("tag", "indices", "confidence")
+
+    def __init__(self, tag: int, indices: List[int], confidence: int) -> None:
+        self.tag = tag
+        self.indices = indices
+        self.confidence = confidence
+
+
+class MultiperspectiveSampler:
+    """LRU shadow sets that train a multiperspective predictor."""
+
+    def __init__(
+        self,
+        predictor: MultiperspectivePredictor,
+        llc_sets: int,
+        sampler_sets: int = 64,
+        ways: int = SAMPLER_WAYS,
+        theta: int = DEFAULT_THETA,
+        tag_bits: int = 16,
+    ) -> None:
+        if ways < 1:
+            raise ValueError("sampler ways must be positive")
+        self.predictor = predictor
+        self.mapper = SetSampler(llc_sets, sampler_sets)
+        self.ways = ways
+        self.theta = theta
+        self.tag_bits = tag_bits
+        # Each sampler set is a list of entries, MRU (position 0) first.
+        self._sets: List[List[SamplerEntry]] = [
+            [] for _ in range(self.mapper.sampler_sets)
+        ]
+        # features_at[a] lists the features whose A parameter equals a,
+        # so a demotion into position a trains exactly those tables.
+        max_a = ways
+        self._features_at: List[List[int]] = [[] for _ in range(max_a + 1)]
+        for feature_idx, a in enumerate(predictor.associativities):
+            if a <= max_a:
+                self._features_at[a].append(feature_idx)
+        self.trainings_live = 0
+        self.trainings_dead = 0
+
+    def observe(
+        self,
+        set_idx: int,
+        ctx: AccessContext,
+        indices: List[int],
+        confidence: int,
+    ) -> None:
+        """Feed one LLC access; trains if ``set_idx`` is sampled."""
+        sampler_idx = self.mapper.sampler_index(set_idx)
+        if sampler_idx >= 0:
+            self._access(sampler_idx, ctx, indices, confidence)
+
+    # -- internals -------------------------------------------------------
+
+    def _access(
+        self,
+        sampler_idx: int,
+        ctx: AccessContext,
+        indices: List[int],
+        confidence: int,
+    ) -> None:
+        entries = self._sets[sampler_idx]
+        tag = partial_tag(ctx.block, self.tag_bits)
+        hit_position = self._find(entries, tag)
+        if hit_position is not None:
+            entry = entries[hit_position]
+            self._train_reuse(entry, hit_position)
+            # Promote to MRU; blocks above the hit demote by one.
+            self._train_demotions(entries, hit_position)
+            entries.pop(hit_position)
+            entry.indices = indices
+            entry.confidence = confidence
+            entries.insert(0, entry)
+            return
+        # Sampler miss: every resident demotes by one; the block at
+        # position ways-1 demotes to position ways, i.e. is evicted.
+        self._train_demotions(entries, len(entries))
+        if len(entries) >= self.ways:
+            entries.pop()
+        entries.insert(0, SamplerEntry(tag, indices, confidence))
+
+    @staticmethod
+    def _find(entries: List[SamplerEntry], tag: int) -> Optional[int]:
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                return position
+        return None
+
+    def _train_reuse(self, entry: SamplerEntry, position: int) -> None:
+        """A block was reused at LRU ``position``.
+
+        Features whose associativity exceeds ``position`` saw a hit and
+        train live; features with A <= position would have missed and
+        are deliberately not trained (Section 3.3).
+        """
+        if entry.confidence <= -self.theta:
+            return  # confidently and correctly predicted live: no update
+        predictor = self.predictor
+        indices = entry.indices
+        for feature_idx, a in enumerate(predictor.associativities):
+            if position < a:
+                predictor.train_live(feature_idx, indices[feature_idx])
+                self.trainings_live += 1
+
+    def _train_demotions(self, entries: List[SamplerEntry], count: int) -> None:
+        """Blocks at positions [0, count) each demote by one position.
+
+        A block arriving at position ``a`` is an eviction for every
+        feature with associativity ``a``.
+        """
+        features_at = self._features_at
+        predictor = self.predictor
+        theta = self.theta
+        for old_position in range(min(count, len(entries))):
+            trained_features = features_at[old_position + 1]
+            if not trained_features:
+                continue
+            entry = entries[old_position]
+            if entry.confidence >= theta:
+                continue  # confidently and correctly predicted dead
+            for feature_idx in trained_features:
+                predictor.train_dead(feature_idx, entry.indices[feature_idx])
+                self.trainings_dead += 1
+
+    def storage_bits(self) -> int:
+        """Sampler hardware cost (Section 4.4 accounting)."""
+        index_bits = sum(
+            max(1, (size - 1).bit_length())
+            for size in (f.table_size for f in self.predictor.features)
+        )
+        per_entry = self.tag_bits + 9 + 4 + index_bits
+        return per_entry * self.ways * self.mapper.sampler_sets

@@ -1,0 +1,6 @@
+"""Core-side models: stream prefetcher and out-of-order timing."""
+
+from repro.cpu.prefetcher import StreamPrefetcher
+from repro.cpu.timing import TimingConfig, TimingModel, TimingResult
+
+__all__ = ["StreamPrefetcher", "TimingConfig", "TimingModel", "TimingResult"]

@@ -1,0 +1,82 @@
+"""Registry of all cache management policies under study (Section 4.3).
+
+Gives benches, examples, and the runners a single place to construct a
+policy by name with the right geometry.  MPPPB policies accept an
+explicit :class:`~repro.core.mpppb.MPPPBConfig` via ``mpppb_config``;
+the convenience names ``mpppb-1a`` / ``mpppb-1b`` / ``mpppb-mp`` use
+the published presets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.mdpp import MDPPPolicy
+from repro.cache.replacement.plru import TreePLRUPolicy
+from repro.cache.replacement.random_ import RandomPolicy
+from repro.cache.replacement.srrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.core.presets import multi_core_tuned_config, single_thread_config
+from repro.predictors.hawkeye import HawkeyePolicy
+from repro.predictors.perceptron import PerceptronPolicy
+from repro.predictors.sdbp import SDBPPolicy
+from repro.predictors.ship import SHiPPolicy
+
+PolicyFactory = Callable[[int, int], ReplacementPolicy]
+
+_SIMPLE: Dict[str, PolicyFactory] = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "plru": TreePLRUPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "mdpp": MDPPPolicy,
+    "min": BeladyPolicy,
+    "sdbp": SDBPPolicy,
+    "ship": SHiPPolicy,
+    "perceptron": PerceptronPolicy,
+    "hawkeye": HawkeyePolicy,
+}
+
+
+def policy_names() -> list:
+    """All registered policy names."""
+    return sorted(_SIMPLE) + ["mpppb", "mpppb-1a", "mpppb-1b", "mpppb-mp"]
+
+
+def make_policy(
+    name: str,
+    num_sets: int,
+    ways: int,
+    mpppb_config: Optional[MPPPBConfig] = None,
+) -> ReplacementPolicy:
+    """Construct a policy by registry name."""
+    if name in _SIMPLE:
+        return _SIMPLE[name](num_sets, ways)
+    if name == "mpppb":
+        if mpppb_config is None:
+            raise ValueError("policy 'mpppb' requires an explicit mpppb_config")
+        return MPPPBPolicy(num_sets, ways, mpppb_config)
+    if name == "mpppb-1a":
+        return MPPPBPolicy(num_sets, ways, mpppb_config or single_thread_config("a"))
+    if name == "mpppb-1b":
+        return MPPPBPolicy(num_sets, ways, mpppb_config or single_thread_config("b"))
+    if name == "mpppb-mp":
+        return MPPPBPolicy(num_sets, ways, mpppb_config or multi_core_tuned_config())
+    raise ValueError(f"unknown policy {name!r}; choose from {policy_names()}")
+
+
+def policy_factory(
+    name: str, mpppb_config: Optional[MPPPBConfig] = None
+) -> PolicyFactory:
+    """Curry :func:`make_policy` into a geometry-taking factory."""
+
+    def factory(num_sets: int, ways: int) -> ReplacementPolicy:
+        return make_policy(name, num_sets, ways, mpppb_config)
+
+    factory.__name__ = f"factory_{name}"
+    return factory

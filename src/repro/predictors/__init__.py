@@ -1,0 +1,19 @@
+"""Baseline reuse predictors: SDBP, Perceptron, and Hawkeye."""
+
+from repro.predictors.base import ReusePredictor, SetSampler, partial_tag
+from repro.predictors.hawkeye import HawkeyePolicy, HawkeyePredictor, OptGen
+from repro.predictors.perceptron import PerceptronPolicy, PerceptronPredictor
+from repro.predictors.sdbp import SDBPPolicy, SDBPPredictor
+
+__all__ = [
+    "ReusePredictor",
+    "SetSampler",
+    "partial_tag",
+    "HawkeyePolicy",
+    "HawkeyePredictor",
+    "OptGen",
+    "PerceptronPolicy",
+    "PerceptronPredictor",
+    "SDBPPolicy",
+    "SDBPPredictor",
+]

@@ -1,0 +1,75 @@
+"""Common infrastructure for reuse predictors.
+
+All three sampler-based predictors (SDBP, Perceptron, and the paper's
+multiperspective predictor) observe a *sample* of LLC sets: a small
+number of sets have a shadow structure with partial tags, managed by
+true LRU, whose hits and evictions train the prediction tables
+(Sections 2 and 3.3).  :class:`SetSampler` implements the sampled-set
+selection shared by all of them.
+
+:class:`ReusePredictor` is the interface the ROC harness and the
+prediction-driven policies consume: one call per LLC access returning
+a signed confidence, positive meaning *predicted dead*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cache.access import AccessContext
+
+
+class ReusePredictor(ABC):
+    """Dead-block predictor driven once per LLC access."""
+
+    name = "base"
+
+    @abstractmethod
+    def on_llc_access(self, set_idx: int, ctx: AccessContext, hit: bool) -> float:
+        """Observe one LLC access and return the confidence.
+
+        A return value above zero predicts the block dead (it will not
+        be reused before eviction); the magnitude is the predictor's
+        confidence.  Implementations also perform any sampler training
+        triggered by this access.
+        """
+
+    @property
+    def confidence_range(self) -> float:
+        """Magnitude bound of returned confidences (for ROC sweeps)."""
+        return 1.0
+
+
+class SetSampler:
+    """Maps LLC set indices onto a small array of sampled shadow sets.
+
+    Sampled sets are spread uniformly: with ``llc_sets`` sets and
+    ``sampler_sets`` samples every ``llc_sets // sampler_sets``-th set
+    is sampled.  The paper uses 64 sampled sets per core
+    (Section 4.4).
+    """
+
+    def __init__(self, llc_sets: int, sampler_sets: int) -> None:
+        if sampler_sets < 1:
+            raise ValueError("sampler_sets must be positive")
+        if sampler_sets > llc_sets:
+            sampler_sets = llc_sets
+        self.llc_sets = llc_sets
+        self.sampler_sets = sampler_sets
+        self._stride = max(1, llc_sets // sampler_sets)
+
+    def sampler_index(self, set_idx: int) -> int:
+        """Sampler set for ``set_idx``, or -1 when the set is unsampled."""
+        if set_idx % self._stride:
+            return -1
+        index = set_idx // self._stride
+        return index if index < self.sampler_sets else -1
+
+
+def partial_tag(block: int, bits: int = 16) -> int:
+    """Reduce a block address to the sampler's partial tag width.
+
+    Samplers tolerate a small aliasing rate (Section 3.3), trading tag
+    bits for hardware budget; 16 bits is the paper's choice.
+    """
+    return (block ^ (block >> bits) ^ (block >> (2 * bits))) & ((1 << bits) - 1)

@@ -1,0 +1,168 @@
+"""Sampling Dead Block Prediction (SDBP) [Khan, Tian & Jimenez, MICRO 2010].
+
+SDBP learns the mapping "PC that last touched a block -> block dies"
+from a sampled shadow of the cache (Section 2 of the reproduced
+paper):
+
+* The sampler keeps partial tags for a few sets, managed by LRU with a
+  *reduced associativity* relative to the LLC.
+* Three tables of two-bit saturating counters are indexed by three
+  differently skewed hashes of the PC (after the skewed branch
+  predictor).
+* When a sampled block is hit, the counters of the PC that *last*
+  touched it are decremented (that PC led to a live block); when a
+  sampled block is evicted, the counters of its last-touch PC are
+  incremented (that PC led to a dead block).
+* To predict, the current PC's three counters are summed; a sum above
+  the threshold classifies the accessed block dead.
+
+The policy wrapper applies SDBP's replacement-and-bypass optimization:
+predicted-dead blocks are preferred victims, and dead-on-arrival fills
+are bypassed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.predictors.base import ReusePredictor, SetSampler, partial_tag
+from repro.util.hashing import skewed_hashes
+
+
+@dataclass
+class _SamplerEntry:
+    tag: int
+    last_pc_hashes: List[int]
+
+
+class SDBPPredictor(ReusePredictor):
+    """Skewed three-table dead block predictor with an LRU sampler."""
+
+    name = "sdbp"
+
+    def __init__(
+        self,
+        llc_sets: int,
+        sampler_sets: int = 64,
+        sampler_ways: int = 12,
+        table_bits: int = 12,
+        num_tables: int = 3,
+        threshold: int = 8,
+    ) -> None:
+        self.sampler = SetSampler(llc_sets, sampler_sets)
+        self.sampler_ways = sampler_ways
+        self.num_tables = num_tables
+        self.table_size = 1 << table_bits
+        self.table_bits = table_bits
+        self.threshold = threshold
+        self.counter_max = 3
+        self.tables: List[List[int]] = [
+            [0] * self.table_size for _ in range(num_tables)
+        ]
+        # Each sampler set is a list of entries, MRU first.
+        self._sets: List[List[_SamplerEntry]] = [[] for _ in range(sampler_sets)]
+
+    # -- prediction ----------------------------------------------------
+
+    def predict(self, pc: int) -> int:
+        """Sum of the three indexed counters; >= threshold means dead."""
+        total = 0
+        for table, index in zip(self.tables, self._indices(pc)):
+            total += table[index]
+        return total
+
+    def confidence(self, pc: int) -> float:
+        """Signed confidence: positive = predicted dead."""
+        return self.predict(pc) - self.threshold + 0.5
+
+    @property
+    def confidence_range(self) -> float:
+        return float(self.counter_max * self.num_tables)
+
+    # -- training ------------------------------------------------------
+
+    def on_llc_access(self, set_idx: int, ctx: AccessContext, hit: bool) -> float:
+        sampler_idx = self.sampler.sampler_index(set_idx)
+        if sampler_idx >= 0:
+            self._sample(sampler_idx, ctx)
+        return self.confidence(ctx.pc)
+
+    def _sample(self, sampler_idx: int, ctx: AccessContext) -> None:
+        entries = self._sets[sampler_idx]
+        tag = partial_tag(ctx.block)
+        pc_hashes = self._indices(ctx.pc)
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                # Sampler hit: the previous last-touch PC led to reuse.
+                self._train(entry.last_pc_hashes, dead=False)
+                entry.last_pc_hashes = pc_hashes
+                entries.pop(position)
+                entries.insert(0, entry)
+                return
+        # Sampler miss: insert, evicting the LRU entry if full.
+        if len(entries) >= self.sampler_ways:
+            victim = entries.pop()
+            self._train(victim.last_pc_hashes, dead=True)
+        entries.insert(0, _SamplerEntry(tag=tag, last_pc_hashes=pc_hashes))
+
+    def _train(self, pc_hashes: List[int], dead: bool) -> None:
+        delta = 1 if dead else -1
+        for table, index in zip(self.tables, pc_hashes):
+            value = table[index] + delta
+            if 0 <= value <= self.counter_max:
+                table[index] = value
+
+    def _indices(self, pc: int) -> List[int]:
+        return skewed_hashes(pc >> 2, self.num_tables, self.table_bits)
+
+
+class SDBPPolicy(ReplacementPolicy):
+    """LRU default replacement with SDBP-driven victimization and bypass."""
+
+    name = "sdbp"
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        predictor: Optional[SDBPPredictor] = None,
+    ) -> None:
+        super().__init__(num_sets, ways)
+        self.predictor = predictor or SDBPPredictor(num_sets)
+        self._lru = LRUPolicy(num_sets, ways)
+        # Dead marks, refreshed by the prediction of each access.
+        self._dead: List[List[bool]] = [[False] * ways for _ in range(num_sets)]
+        self._last_confidence = 0.0
+
+    def on_access(self, set_idx: int, ctx: AccessContext, hit: bool, way: int) -> None:
+        self._last_confidence = self.predictor.on_llc_access(set_idx, ctx, hit)
+        if hit:
+            self._dead[set_idx][way] = self._last_confidence > 0
+
+    def should_bypass(self, set_idx: int, ctx: AccessContext) -> bool:
+        return self._last_confidence > 0 and not ctx.is_write
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        dead = self._dead[set_idx]
+        for way in range(self.ways):
+            if dead[way]:
+                return way
+        return self._lru.choose_victim(set_idx, ctx)
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self._lru.on_fill(set_idx, way, ctx)
+        self._dead[set_idx][way] = self._last_confidence > 0
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self._lru.on_hit(set_idx, way, ctx)
+
+    def on_evict(self, set_idx: int, way: int, block: int) -> None:
+        self._lru.on_evict(set_idx, way, block)
+        self._dead[set_idx][way] = False
+
+    def is_mru(self, set_idx: int, way: int) -> bool:
+        return self._lru.is_mru(set_idx, way)

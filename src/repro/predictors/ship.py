@@ -1,0 +1,111 @@
+"""SHiP: Signature-based Hit Predictor [Wu et al., MICRO 2011].
+
+An extension baseline beyond the paper's main comparison (it appears
+in the paper's related work, Section 2, reference [29]).  SHiP
+associates each cache block with the *signature* that inserted it — we
+use the hashed PC, SHiP-PC — and a table of saturating counters
+(SHCT) learns whether blocks inserted by that signature are re-
+referenced:
+
+* On a hit, the block's signature counter increments (its ``outcome``
+  bit marks the block re-referenced).
+* On eviction of a block that was never re-referenced, the signature
+  counter decrements.
+* On insertion, a zero counter predicts a distant re-reference
+  interval: the block is inserted with RRPV max (SRRIP's "distant")
+  instead of the default long interval.
+
+SHiP therefore emulates the paper's ``bias(A,1)`` feature in
+isolation — a useful calibration point for how much the remaining
+fifteen perspectives buy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.access import AccessContext
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.srrip import SRRIPPolicy
+from repro.predictors.base import SetSampler
+from repro.util.hashing import hash_to
+
+
+class SHCT:
+    """Signature history counter table."""
+
+    def __init__(self, table_bits: int = 13, counter_max: int = 7) -> None:
+        self.table_bits = table_bits
+        self.counter_max = counter_max
+        self.counters: List[int] = [1] * (1 << table_bits)
+
+    def index(self, pc: int) -> int:
+        return hash_to(pc >> 2, self.table_bits)
+
+    def predicts_reuse(self, pc: int) -> bool:
+        return self.counters[self.index(pc)] > 0
+
+    def train_hit(self, pc: int) -> None:
+        idx = self.index(pc)
+        if self.counters[idx] < self.counter_max:
+            self.counters[idx] += 1
+
+    def train_dead(self, pc: int) -> None:
+        idx = self.index(pc)
+        if self.counters[idx] > 0:
+            self.counters[idx] -= 1
+
+
+class SHiPPolicy(ReplacementPolicy):
+    """SRRIP replacement with SHiP-PC signature-driven insertion.
+
+    Training is set-sampled like the original (a fraction of sets keep
+    the per-block signature/outcome metadata and update the SHCT).  We
+    keep the metadata for all sets — the simulator is not hardware —
+    but only sampled sets train, matching the published design.
+    """
+
+    name = "ship"
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        shct: Optional[SHCT] = None,
+        sampler_sets: int = 64,
+    ) -> None:
+        super().__init__(num_sets, ways)
+        self.shct = shct or SHCT()
+        self.sampler = SetSampler(num_sets, sampler_sets)
+        self._srrip = SRRIPPolicy(num_sets, ways)
+        self._signature: List[List[int]] = [[0] * ways for _ in range(num_sets)]
+        self._outcome: List[List[bool]] = [
+            [False] * ways for _ in range(num_sets)
+        ]
+
+    def choose_victim(self, set_idx: int, ctx: AccessContext) -> int:
+        return self._srrip.choose_victim(set_idx, ctx)
+
+    def on_fill(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        if self.shct.predicts_reuse(ctx.pc):
+            self._srrip.rrpvs[set_idx][way] = self._srrip.insert_rrpv
+        else:
+            self._srrip.rrpvs[set_idx][way] = self._srrip.rrpv_max
+        self._signature[set_idx][way] = ctx.pc
+        self._outcome[set_idx][way] = False
+
+    def on_hit(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        self._srrip.on_hit(set_idx, way, ctx)
+        if not self._outcome[set_idx][way]:
+            self._outcome[set_idx][way] = True
+            if self.sampler.sampler_index(set_idx) >= 0:
+                self.shct.train_hit(self._signature[set_idx][way])
+
+    def on_evict(self, set_idx: int, way: int, block: int) -> None:
+        if (not self._outcome[set_idx][way]
+                and self.sampler.sampler_index(set_idx) >= 0):
+            self.shct.train_dead(self._signature[set_idx][way])
+        self._outcome[set_idx][way] = False
+
+    def is_mru(self, set_idx: int, way: int) -> bool:
+        return self._srrip.is_mru(set_idx, way)

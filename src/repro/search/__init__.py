@@ -1,0 +1,18 @@
+"""Feature design-space exploration: random search and hill-climbing."""
+
+from repro.search.evaluator import FeatureSetEvaluator
+from repro.search.hillclimb import HillClimbResult, hill_climb
+from repro.search.random_search import (
+    SearchCandidate,
+    mpki_distribution,
+    random_search,
+)
+
+__all__ = [
+    "FeatureSetEvaluator",
+    "HillClimbResult",
+    "hill_climb",
+    "SearchCandidate",
+    "mpki_distribution",
+    "random_search",
+]

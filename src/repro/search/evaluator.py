@@ -1,0 +1,71 @@
+"""Fast MPKI-only evaluation of feature sets (Section 5.1).
+
+The paper's design-space exploration evaluates thousands of candidate
+feature sets "with a fast simulator that only measures average MPKI".
+Our equivalent replays the cached, policy-invariant LLC streams of a
+workload list under an MPPPB instance built from the candidate
+features and averages the resulting MPKI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.features import Feature
+from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.sim.hierarchy import HierarchyConfig
+from repro.sim.single import SingleThreadRunner
+from repro.traces.trace import Segment
+
+
+class FeatureSetEvaluator:
+    """Average-MPKI objective over a fixed set of workload segments."""
+
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        hierarchy: HierarchyConfig,
+        base_config: Optional[MPPPBConfig] = None,
+        warmup_fraction: float = 0.25,
+        prefetch: bool = True,
+    ) -> None:
+        if not segments:
+            raise ValueError("evaluator needs at least one segment")
+        self.segments = list(segments)
+        self.base_config = base_config
+        self.runner = SingleThreadRunner(
+            hierarchy, prefetch=prefetch, warmup_fraction=warmup_fraction
+        )
+        self.evaluations = 0
+        self._cache: Dict[tuple, float] = {}
+
+    def _config(self, features: Sequence[Feature]) -> MPPPBConfig:
+        if self.base_config is not None:
+            return self.base_config.with_features(features)
+        return MPPPBConfig(features=tuple(features))
+
+    def evaluate(self, features: Sequence[Feature]) -> float:
+        """Average demand MPKI of MPPPB built on ``features``."""
+        key = tuple(features)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self._config(features)
+
+        def factory(num_sets: int, ways: int) -> MPPPBPolicy:
+            return MPPPBPolicy(num_sets, ways, config)
+
+        total = 0.0
+        for segment in self.segments:
+            total += self.runner.run_segment(segment, factory).mpki
+        self.evaluations += 1
+        mean = total / len(self.segments)
+        self._cache[key] = mean
+        return mean
+
+    def baseline_mpki(self, policy_factory) -> float:
+        """Average MPKI of an arbitrary policy (for LRU/MIN reference lines)."""
+        total = 0.0
+        for segment in self.segments:
+            total += self.runner.run_segment(segment, policy_factory).mpki
+        return total / len(self.segments)

@@ -1,0 +1,85 @@
+"""Hill-climbing refinement of a feature set (Section 5.1).
+
+The paper's climber repeatedly picks a random member of the current
+set and either (a) replaces it with a freshly random feature,
+(b) replaces it with a copy of another member — which is why published
+sets contain duplicates like pc(17,6,20,0,1) — or (c) slightly
+perturbs one of its parameters.  A change is kept only if it lowers
+average MPKI; the search stops after a step budget or when no change
+has helped for ``patience`` consecutive attempts ("a state of
+convergence").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.features import Feature, perturb_feature, random_feature
+from repro.search.evaluator import FeatureSetEvaluator
+
+
+@dataclass(frozen=True)
+class HillClimbResult:
+    features: Tuple[Feature, ...]
+    mpki: float
+    history: Tuple[float, ...]
+    steps_taken: int
+    improvements: int
+
+
+def _mutate(
+    features: List[Feature], rng: random.Random
+) -> List[Feature]:
+    """Apply one of the paper's three mutation moves."""
+    mutated = list(features)
+    victim = rng.randrange(len(mutated))
+    move = rng.random()
+    if move < 1 / 3:
+        mutated[victim] = random_feature(rng)
+    elif move < 2 / 3 and len(mutated) > 1:
+        donor = rng.randrange(len(mutated))
+        mutated[victim] = mutated[donor]
+    else:
+        mutated[victim] = perturb_feature(mutated[victim], rng)
+    return mutated
+
+
+def hill_climb(
+    evaluator: FeatureSetEvaluator,
+    initial: Tuple[Feature, ...],
+    steps: int,
+    seed: int = 1337,
+    patience: int = 0,
+) -> HillClimbResult:
+    """Greedy local search from ``initial``; returns the best set found."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    rng = random.Random(seed)
+    current = list(initial)
+    current_mpki = evaluator.evaluate(current)
+    history = [current_mpki]
+    improvements = 0
+    stale = 0
+    taken = 0
+    for taken in range(1, steps + 1):
+        candidate = _mutate(current, rng)
+        candidate_mpki = evaluator.evaluate(candidate)
+        if candidate_mpki < current_mpki:
+            current = candidate
+            current_mpki = candidate_mpki
+            improvements += 1
+            stale = 0
+        else:
+            stale += 1
+        history.append(current_mpki)
+        if patience and stale >= patience:
+            break
+    return HillClimbResult(
+        features=tuple(current),
+        mpki=current_mpki,
+        history=tuple(history),
+        steps_taken=taken,
+        improvements=improvements,
+    )

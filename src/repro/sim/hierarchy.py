@@ -1,0 +1,153 @@
+"""Upper-level cache hierarchy driver (stage 1 of the pipeline).
+
+Runs a workload trace through the private L1 data cache and unified L2
+(both LRU, per Section 4.1) with the stream prefetcher, producing:
+
+* per memory access, the level that services it (L1, L2, or an index
+  into the LLC stream), plus its retired-instruction index — the
+  inputs of the timing model; and
+* the LLC access stream (demand L2 misses plus prefetch fills carrying
+  the fake prefetch PC), which stage 2 replays against each policy.
+
+Because L1/L2 behavior cannot depend on the LLC's replacement policy
+(non-inclusive hierarchy, no back-invalidation), this stage runs once
+per workload and its output is reused for every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.access import PREFETCH_PC
+from repro.cache.cache import FastLRUCache
+from repro.cpu.prefetcher import StreamPrefetcher
+from repro.sim.llc import LLCAccess
+from repro.traces.trace import Trace
+
+SERVICE_L1 = -1
+SERVICE_L2 = -2
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry for one core plus the shared LLC."""
+
+    l1_kib: int = 32
+    l1_ways: int = 8
+    l2_kib: int = 256
+    l2_ways: int = 8
+    llc_kib: int = 2048
+    llc_ways: int = 16
+    block_bytes: int = 64
+
+    @property
+    def block_shift(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def llc_bytes(self) -> int:
+        return self.llc_kib * 1024
+
+
+@dataclass
+class UpperLevelResult:
+    """Stage-1 output for one workload segment."""
+
+    service: List[int]
+    instr_indices: List[int]
+    llc_stream: List[LLCAccess]
+    num_instructions: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+    prefetches_issued: int
+
+    def llc_warmup_boundary(self, warm_mem_index: int) -> int:
+        """First LLC stream index at or after memory access ``warm_mem_index``."""
+        for index, access in enumerate(self.llc_stream):
+            if access.mem_index >= warm_mem_index:
+                return index
+        return len(self.llc_stream)
+
+
+class UpperLevels:
+    """L1 + L2 + stream prefetcher front half of the hierarchy."""
+
+    def __init__(self, config: HierarchyConfig, prefetch: bool = True) -> None:
+        self.config = config
+        self.prefetch = prefetch
+
+    def run(self, trace: Trace) -> UpperLevelResult:
+        config = self.config
+        l1 = FastLRUCache(config.l1_kib * 1024, config.l1_ways, config.block_bytes)
+        l2 = FastLRUCache(config.l2_kib * 1024, config.l2_ways, config.block_bytes)
+        prefetcher = StreamPrefetcher() if self.prefetch else None
+        shift = config.block_shift
+        offset_mask = config.block_bytes - 1
+
+        service: List[int] = []
+        instr_indices: List[int] = []
+        llc_stream: List[LLCAccess] = []
+        instr = -1
+        pcs = trace.pcs
+        addresses = trace.addresses
+        writes = trace.writes
+        gaps = trace.gaps
+        l1_access = l1.access
+        l2_access = l2.access
+        l2_probe = l2.probe
+        l2_fill = l2.fill
+        for mem_index in range(len(pcs)):
+            instr += gaps[mem_index] + 1
+            address = addresses[mem_index]
+            block = address >> shift
+            instr_indices.append(instr)
+            if l1_access(block):
+                service.append(SERVICE_L1)
+                continue
+            prefetch_blocks = (
+                prefetcher.on_l1_miss(block) if prefetcher is not None else ()
+            )
+            if l2_access(block):
+                service.append(SERVICE_L2)
+            else:
+                service.append(len(llc_stream))
+                llc_stream.append(
+                    LLCAccess(
+                        pc=pcs[mem_index],
+                        block=block,
+                        offset=address & offset_mask,
+                        is_write=writes[mem_index],
+                        is_prefetch=False,
+                        mem_index=mem_index,
+                        instr_index=instr,
+                    )
+                )
+            for pf_block in prefetch_blocks:
+                if pf_block == block or l2_probe(pf_block):
+                    continue
+                l2_fill(pf_block)
+                llc_stream.append(
+                    LLCAccess(
+                        pc=PREFETCH_PC,
+                        block=pf_block,
+                        offset=0,
+                        is_write=False,
+                        is_prefetch=True,
+                        mem_index=mem_index,
+                        instr_index=instr,
+                    )
+                )
+        return UpperLevelResult(
+            service=service,
+            instr_indices=instr_indices,
+            llc_stream=llc_stream,
+            num_instructions=trace.num_instructions,
+            l1_hits=l1.hits,
+            l1_misses=l1.misses,
+            l2_hits=l2.hits,
+            l2_misses=l2.misses,
+            prefetches_issued=prefetcher.issued if prefetcher is not None else 0,
+        )

@@ -1,0 +1,163 @@
+"""Last-level cache simulator.
+
+Replays a (policy-invariant) LLC access stream — produced once per
+workload by :class:`repro.sim.hierarchy.UpperLevels` — against an LLC
+governed by the replacement policy under test.  This is stage 2 of the
+simulation pipeline described in DESIGN.md; because L1/L2 filtering
+does not depend on the LLC policy, the same stream is reused for LRU,
+SRRIP, Hawkeye, Perceptron, SDBP, MPPPB, and MIN, which is what makes
+policy comparisons cheap and exactly aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cache.access import AccessContext
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.belady import compute_next_uses
+
+
+@dataclass
+class LLCAccess:
+    """One access arriving at the LLC (demand L2 miss or prefetch)."""
+
+    __slots__ = ("pc", "block", "offset", "is_write", "is_prefetch",
+                 "mem_index", "instr_index")
+
+    pc: int
+    block: int
+    offset: int
+    is_write: bool
+    is_prefetch: bool
+    mem_index: int
+    instr_index: int
+
+
+@dataclass
+class LLCStats:
+    """Counters over the measured portion of a run.
+
+    Demand counters exclude prefetch accesses: the paper's MPKI counts
+    demand misses per kilo-instruction.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def demand_miss_ratio(self) -> float:
+        return self.demand_misses / self.demand_accesses if self.demand_accesses else 0.0
+
+
+@dataclass
+class LLCResult:
+    """Outcome of one LLC replay."""
+
+    outcomes: List[bool]
+    stats: LLCStats
+    warm_stats: LLCStats
+
+
+class LLCSimulator:
+    """Drives one replacement policy over an LLC access stream."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        policy: ReplacementPolicy,
+        block_bytes: int = 64,
+    ) -> None:
+        self.cache = SetAssociativeCache(capacity_bytes, ways, block_bytes)
+        if policy.num_sets != self.cache.num_sets or policy.ways != ways:
+            raise ValueError(
+                f"policy geometry ({policy.num_sets}x{policy.ways}) does not "
+                f"match cache geometry ({self.cache.num_sets}x{ways})"
+            )
+        self.policy = policy
+        self._last_was_miss = [False] * self.cache.num_sets
+
+    def run(
+        self,
+        stream: Sequence[LLCAccess],
+        pc_trace: Sequence[int] = (),
+        warmup: int = 0,
+    ) -> LLCResult:
+        """Replay ``stream``; outcomes[i] is True when access i hit.
+
+        ``pc_trace`` is the full per-memory-instruction PC sequence of
+        the workload; predictor features index it through each access's
+        ``mem_index`` to recover the PC history (Section 3.2's pc
+        feature).  Accesses before ``warmup`` update all state but are
+        excluded from the measured statistics.
+        """
+        if self.policy.needs_future:
+            self.policy.prepare(compute_next_uses([a.block for a in stream]))
+        cache = self.cache
+        policy = self.policy
+        last_was_miss = self._last_was_miss
+        set_mask = cache.num_sets - 1
+        outcomes: List[bool] = []
+        warm = LLCStats()
+        measured = LLCStats()
+        # One context object is reused across the whole replay: policies
+        # and predictors read it synchronously and never retain it.
+        ctx = AccessContext(pc=0, address=0, block=0, offset=0,
+                            pc_history=pc_trace)
+        for index, access in enumerate(stream):
+            stats = measured if index >= warmup else warm
+            block = access.block
+            set_idx = block & set_mask
+            way = cache.lookup(set_idx, block)
+            hit = way >= 0
+            ctx.pc = access.pc
+            ctx.address = (block << 6) | access.offset
+            ctx.block = block
+            ctx.offset = access.offset
+            ctx.is_write = access.is_write
+            ctx.is_prefetch = access.is_prefetch
+            ctx.stream_index = index
+            ctx.history_index = access.mem_index
+            ctx.is_insert = not hit
+            ctx.last_was_miss = last_was_miss[set_idx]
+            ctx.is_mru_hit = hit and policy.is_mru(set_idx, way)
+            policy.on_access(set_idx, ctx, hit, way)
+            stats.accesses += 1
+            if not access.is_prefetch:
+                stats.demand_accesses += 1
+            if hit:
+                stats.hits += 1
+                if not access.is_prefetch:
+                    stats.demand_hits += 1
+                policy.on_hit(set_idx, way, ctx)
+            else:
+                stats.misses += 1
+                if not access.is_prefetch:
+                    stats.demand_misses += 1
+                if policy.should_bypass(set_idx, ctx):
+                    stats.bypasses += 1
+                else:
+                    fill_way = cache.invalid_way(set_idx)
+                    if fill_way < 0:
+                        fill_way = policy.choose_victim(set_idx, ctx)
+                        evicted = cache.tags[set_idx][fill_way]
+                        policy.on_evict(set_idx, fill_way, evicted)
+                        stats.evictions += 1
+                    cache.install(set_idx, fill_way, block)
+                    policy.on_fill(set_idx, fill_way, ctx)
+            last_was_miss[set_idx] = not hit
+            outcomes.append(hit)
+        return LLCResult(outcomes=outcomes, stats=measured, warm_stats=warm)

@@ -1,0 +1,256 @@
+"""Multi-programmed (4-core, shared LLC) simulation (Sections 4.2, 6.1).
+
+Implements the FIESTA-flavored methodology at the LLC:
+
+* Each thread's private L1/L2 filtering and standalone-LRU timing are
+  computed once per segment (and cached across mixes).
+* The four LLC access streams are interleaved by their *standalone*
+  timestamps — a fixed-interleave approximation of the paper's
+  closed-loop simulation, documented in DESIGN.md — and replayed
+  against the shared LLC under the policy under test.
+* A thread that exhausts its region restarts from the beginning, so
+  all cores stay active until every thread finishes at least one full
+  region (the paper's "starts over at the beginning" rule).
+* Per-thread IPC is computed from that thread's lap-0 hit/miss
+  outcomes; weighted speedup is ``sum(IPC_i / SingleIPC_i)``,
+  normalized to the LRU run by the caller (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cpu.timing import TimingConfig, TimingModel
+from repro.sim.hierarchy import HierarchyConfig, UpperLevelResult, UpperLevels
+from repro.sim.llc import LLCAccess, LLCSimulator
+from repro.sim.single import demand_load_events
+from repro.traces.mixes import Mix
+from repro.traces.trace import Segment
+from repro.util.stats import mpki as mpki_of
+
+PolicyFactory = Callable[[int, int], ReplacementPolicy]
+
+
+@dataclass
+class ThreadData:
+    """Per-segment state reused across every mix containing it."""
+
+    segment: Segment
+    upper: UpperLevelResult
+    single_ipc: float
+    single_cycles: float
+    timestamps: List[float]
+    warm_mem: int
+    warm_llc: int
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """Measured metrics for one policy on one mix."""
+
+    mix_name: str
+    thread_names: Tuple[str, ...]
+    ipcs: Tuple[float, ...]
+    single_ipcs: Tuple[float, ...]
+    mpki: float
+    llc_misses: int
+    llc_bypasses: int
+
+    @property
+    def weighted_speedup(self) -> float:
+        """Raw weighted speedup (before LRU normalization)."""
+        return sum(i / s for i, s in zip(self.ipcs, self.single_ipcs))
+
+
+class MultiProgrammedRunner:
+    """Shared-LLC runner with per-segment preparation caching."""
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig,
+        timing: Optional[TimingConfig] = None,
+        prefetch: bool = True,
+        warmup_fraction: float = 0.25,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.timing = timing or TimingConfig()
+        self.prefetch = prefetch
+        self.warmup_fraction = warmup_fraction
+        self._upper = UpperLevels(hierarchy, prefetch=prefetch)
+        self._threads: Dict[str, ThreadData] = {}
+
+    @property
+    def _geometry(self) -> Tuple[int, int, int]:
+        llc_bytes = self.hierarchy.llc_bytes
+        ways = self.hierarchy.llc_ways
+        return llc_bytes, ways, llc_bytes // (ways * self.hierarchy.block_bytes)
+
+    # -- per-thread preparation -------------------------------------------
+
+    def thread_data(self, segment: Segment) -> ThreadData:
+        """Stage-1 + standalone-LRU baseline for one segment, memoized."""
+        cached = self._threads.get(segment.name)
+        if cached is not None:
+            return cached
+        upper = self._upper.run(segment.trace)
+        llc_bytes, ways, num_sets = self._geometry
+        warm_mem = int(len(segment.trace.pcs) * self.warmup_fraction)
+        warm_llc = upper.llc_warmup_boundary(warm_mem)
+
+        sim = LLCSimulator(llc_bytes, ways, LRUPolicy(num_sets, ways),
+                           self.hierarchy.block_bytes)
+        standalone = sim.run(upper.llc_stream, pc_trace=segment.trace.pcs,
+                             warmup=warm_llc)
+        model = TimingModel(self.timing)
+        full_events = demand_load_events(
+            segment.trace, upper, standalone.outcomes, self.timing, start_mem=0
+        )
+        full_timing = model.simulate(full_events, upper.num_instructions)
+        measured_events = demand_load_events(
+            segment.trace, upper, standalone.outcomes, self.timing,
+            start_mem=warm_mem,
+        )
+        measured_instr = upper.num_instructions - (
+            upper.instr_indices[warm_mem] if warm_mem < len(segment.trace.pcs) else 0
+        )
+        single_ipc = model.simulate(measured_events, measured_instr).ipc
+        cpi = full_timing.cycles / max(1, upper.num_instructions)
+        timestamps = [a.instr_index * cpi for a in upper.llc_stream]
+        data = ThreadData(
+            segment=segment,
+            upper=upper,
+            single_ipc=single_ipc,
+            single_cycles=full_timing.cycles,
+            timestamps=timestamps,
+            warm_mem=warm_mem,
+            warm_llc=warm_llc,
+        )
+        self._threads[segment.name] = data
+        return data
+
+    # -- mix replay ----------------------------------------------------------
+
+    def run_mix(self, mix: Mix, policy_factory: PolicyFactory) -> MixResult:
+        threads = [self.thread_data(s) for s in mix.segments]
+        merged, origins, merged_pcs, pc_offsets = self._interleave(threads)
+
+        llc_bytes, ways, num_sets = self._geometry
+        policy = policy_factory(num_sets, ways)
+        sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
+        result = sim.run(merged, pc_trace=merged_pcs, warmup=0)
+
+        # Scatter lap-0 outcomes back to per-thread outcome arrays.
+        per_thread_outcomes: List[List[bool]] = [
+            [False] * len(t.upper.llc_stream) for t in threads
+        ]
+        measured_misses = 0
+        for merged_idx, (thread_idx, local_idx, lap) in enumerate(origins):
+            if lap != 0:
+                continue
+            hit = result.outcomes[merged_idx]
+            per_thread_outcomes[thread_idx][local_idx] = hit
+            thread = threads[thread_idx]
+            access = thread.upper.llc_stream[local_idx]
+            if (not hit and not access.is_prefetch
+                    and local_idx >= thread.warm_llc):
+                measured_misses += 1
+
+        model = TimingModel(self.timing)
+        ipcs = []
+        total_measured_instr = 0
+        for thread_idx, thread in enumerate(threads):
+            trace = thread.segment.trace
+            events = demand_load_events(
+                trace, thread.upper, per_thread_outcomes[thread_idx],
+                self.timing, start_mem=thread.warm_mem,
+            )
+            measured_instr = thread.upper.num_instructions - (
+                thread.upper.instr_indices[thread.warm_mem]
+                if thread.warm_mem < len(trace.pcs) else 0
+            )
+            total_measured_instr += measured_instr
+            ipcs.append(model.simulate(events, measured_instr).ipc)
+
+        return MixResult(
+            mix_name=mix.name,
+            thread_names=tuple(t.segment.name for t in threads),
+            ipcs=tuple(ipcs),
+            single_ipcs=tuple(t.single_ipc for t in threads),
+            mpki=mpki_of(measured_misses, max(1, total_measured_instr)),
+            llc_misses=result.stats.misses,
+            llc_bypasses=result.stats.bypasses,
+        )
+
+    def _interleave(
+        self, threads: Sequence[ThreadData]
+    ) -> Tuple[List[LLCAccess], List[Tuple[int, int, int]], List[int], List[int]]:
+        """Timestamp-merge the threads' LLC streams with region laps.
+
+        PC traces are concatenated; each thread's accesses get their
+        ``mem_index`` rebased into the concatenation so PC-history
+        features keep working across threads.
+        """
+        pc_offsets: List[int] = []
+        merged_pcs: List[int] = []
+        for thread in threads:
+            pc_offsets.append(len(merged_pcs))
+            merged_pcs.extend(thread.segment.trace.pcs)
+
+        heap: List[Tuple[float, int, int, int]] = []  # ts, thread, local, lap
+        done = [len(t.upper.llc_stream) == 0 for t in threads]
+        for thread_idx, thread in enumerate(threads):
+            if thread.timestamps:
+                heapq.heappush(heap, (thread.timestamps[0], thread_idx, 0, 0))
+
+        merged: List[LLCAccess] = []
+        origins: List[Tuple[int, int, int]] = []
+        while heap and not all(done):
+            ts, thread_idx, local_idx, lap = heapq.heappop(heap)
+            thread = threads[thread_idx]
+            access = thread.upper.llc_stream[local_idx]
+            merged.append(
+                LLCAccess(
+                    pc=access.pc,
+                    block=access.block,
+                    offset=access.offset,
+                    is_write=access.is_write,
+                    is_prefetch=access.is_prefetch,
+                    mem_index=access.mem_index + pc_offsets[thread_idx],
+                    instr_index=access.instr_index,
+                )
+            )
+            origins.append((thread_idx, local_idx, lap))
+            next_local = local_idx + 1
+            if next_local >= len(thread.timestamps):
+                done[thread_idx] = True
+                next_local = 0
+                lap += 1
+            next_ts = thread.timestamps[next_local] + (lap * thread.single_cycles)
+            heapq.heappush(heap, (next_ts, thread_idx, next_local, lap))
+        return merged, origins, merged_pcs, pc_offsets
+
+
+def normalized_weighted_speedups(
+    results: Dict[str, List[MixResult]], baseline: str = "lru"
+) -> Dict[str, List[float]]:
+    """Normalize each policy's per-mix weighted speedup to the baseline.
+
+    ``results`` maps policy name to a list of :class:`MixResult` in the
+    same mix order.  The output is what Figure 4 plots as S-curves.
+    """
+    if baseline not in results:
+        raise ValueError(f"baseline {baseline!r} missing from results")
+    base = results[baseline]
+    normalized: Dict[str, List[float]] = {}
+    for name, mix_results in results.items():
+        if len(mix_results) != len(base):
+            raise ValueError(f"policy {name!r} ran a different mix count")
+        normalized[name] = [
+            r.weighted_speedup / b.weighted_speedup
+            for r, b in zip(mix_results, base)
+        ]
+    return normalized

@@ -1,0 +1,211 @@
+"""Single-thread simulation runner (Sections 4.2, 4.5, 6.2).
+
+Ties the three pipeline stages together for one core:
+
+1. Stage 1 (upper levels) runs once per workload segment and is cached
+   across policies — the LLC access stream is policy invariant.
+2. Stage 2 replays the stream against the policy under test.
+3. Stage 3 converts per-access latencies into IPC.
+
+Per-benchmark figures are the weighted average of the benchmark's
+segments (the paper's SimPoint weighting); speedups are reported
+relative to LRU and summarized by geometric mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cpu.timing import TimingConfig, TimingModel
+from repro.sim.hierarchy import (
+    SERVICE_L1,
+    SERVICE_L2,
+    HierarchyConfig,
+    UpperLevelResult,
+    UpperLevels,
+)
+from repro.sim.llc import LLCSimulator
+from repro.traces.trace import Segment, Trace
+from repro.util.stats import mpki as mpki_of
+
+PolicyFactory = Callable[[int, int], ReplacementPolicy]
+
+
+@dataclass(frozen=True)
+class SegmentResult:
+    """Measured metrics for one policy on one workload segment."""
+
+    segment_name: str
+    weight: float
+    ipc: float
+    mpki: float
+    llc_accesses: int
+    llc_hits: int
+    llc_misses: int
+    llc_bypasses: int
+    demand_misses: int
+    instructions: int
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """Weighted aggregate over a benchmark's segments (Section 4.2)."""
+
+    benchmark: str
+    segments: Tuple[SegmentResult, ...]
+
+    @property
+    def ipc(self) -> float:
+        total_weight = sum(s.weight for s in self.segments)
+        return sum(s.ipc * s.weight for s in self.segments) / total_weight
+
+    @property
+    def mpki(self) -> float:
+        total_weight = sum(s.weight for s in self.segments)
+        return sum(s.mpki * s.weight for s in self.segments) / total_weight
+
+
+def demand_load_events(
+    trace: Trace,
+    upper: UpperLevelResult,
+    outcomes: Sequence[bool],
+    timing: TimingConfig,
+    start_mem: int = 0,
+) -> Iterable[Tuple[int, int]]:
+    """Yield (instr_index, latency) per measured demand load.
+
+    Stores are non-blocking (no timing event); prefetch LLC accesses
+    are not instructions and never appear here — their effect is
+    already folded into the service levels.
+    """
+    l1, l2 = timing.l1_latency, timing.l2_latency
+    llc_hit, llc_miss = timing.llc_latency, timing.llc_miss_latency
+    base_instr = upper.instr_indices[start_mem] if start_mem < len(trace.pcs) else 0
+    writes = trace.writes
+    deps = trace.deps
+    service = upper.service
+    instr_indices = upper.instr_indices
+    for mem_index in range(start_mem, len(trace.pcs)):
+        if writes[mem_index]:
+            continue
+        level = service[mem_index]
+        if level == SERVICE_L1:
+            latency = l1
+        elif level == SERVICE_L2:
+            latency = l2
+        else:
+            latency = llc_hit if outcomes[level] else llc_miss
+        yield instr_indices[mem_index] - base_instr, latency, deps[mem_index]
+
+
+class SingleThreadRunner:
+    """Runs policies over workload segments with stage-1 caching."""
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig,
+        timing: Optional[TimingConfig] = None,
+        prefetch: bool = True,
+        warmup_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.hierarchy = hierarchy
+        self.timing = timing or TimingConfig()
+        self.prefetch = prefetch
+        self.warmup_fraction = warmup_fraction
+        self._upper = UpperLevels(hierarchy, prefetch=prefetch)
+        self._stage1_cache: Dict[str, UpperLevelResult] = {}
+
+    # -- stage 1 ----------------------------------------------------------
+
+    def upper_result(self, segment: Segment) -> UpperLevelResult:
+        """Stage-1 result for a segment, computed once and memoized."""
+        cached = self._stage1_cache.get(segment.name)
+        if cached is None:
+            cached = self._upper.run(segment.trace)
+            self._stage1_cache[segment.name] = cached
+        return cached
+
+    # -- stages 2 + 3 ----------------------------------------------------
+
+    def run_segment(
+        self, segment: Segment, policy_factory: PolicyFactory
+    ) -> SegmentResult:
+        upper = self.upper_result(segment)
+        trace = segment.trace
+        warm_mem = int(len(trace.pcs) * self.warmup_fraction)
+        warm_llc = upper.llc_warmup_boundary(warm_mem)
+
+        llc_bytes = self.hierarchy.llc_bytes
+        ways = self.hierarchy.llc_ways
+        num_sets = llc_bytes // (ways * self.hierarchy.block_bytes)
+        policy = policy_factory(num_sets, ways)
+        sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
+        llc = sim.run(upper.llc_stream, pc_trace=trace.pcs, warmup=warm_llc)
+
+        events = demand_load_events(
+            trace, upper, llc.outcomes, self.timing, start_mem=warm_mem
+        )
+        measured_instr = upper.num_instructions - (
+            upper.instr_indices[warm_mem] if warm_mem < len(trace.pcs) else 0
+        )
+        timing_result = TimingModel(self.timing).simulate(events, measured_instr)
+        return SegmentResult(
+            segment_name=segment.name,
+            weight=segment.weight,
+            ipc=timing_result.ipc,
+            mpki=mpki_of(llc.stats.demand_misses, measured_instr),
+            llc_accesses=llc.stats.accesses,
+            llc_hits=llc.stats.hits,
+            llc_misses=llc.stats.misses,
+            llc_bypasses=llc.stats.bypasses,
+            demand_misses=llc.stats.demand_misses,
+            instructions=measured_instr,
+        )
+
+    def run_benchmark(
+        self, name: str, segments: Sequence[Segment], policy_factory: PolicyFactory
+    ) -> BenchmarkResult:
+        results = tuple(self.run_segment(s, policy_factory) for s in segments)
+        return BenchmarkResult(benchmark=name, segments=results)
+
+    def run_suite(
+        self,
+        suite: Dict[str, Sequence[Segment]],
+        policy_factory: PolicyFactory,
+    ) -> Dict[str, BenchmarkResult]:
+        return {
+            name: self.run_benchmark(name, segments, policy_factory)
+            for name, segments in sorted(suite.items())
+        }
+
+
+def cross_validated_configs(suite_names: Sequence[str]):
+    """Assign each benchmark the Table 1 feature set trained on the
+    *other* half of the suite, mirroring the paper's cross-validation
+    (Section 5.2): the first half of the alphabetized suite evaluates
+    with set (b), the second half with set (a).
+    """
+    from repro.core.presets import single_thread_config
+
+    ordered = sorted(suite_names)
+    half = len(ordered) // 2
+    assignment = {}
+    for index, name in enumerate(ordered):
+        table = "b" if index < half else "a"
+        assignment[name] = single_thread_config(table)
+    return assignment
+
+
+def speedups_over_lru(
+    results: Dict[str, BenchmarkResult], lru_results: Dict[str, BenchmarkResult]
+) -> Dict[str, float]:
+    """Per-benchmark IPC ratio versus the LRU baseline (Section 4.5)."""
+    return {
+        name: results[name].ipc / lru_results[name].ipc
+        for name in sorted(results)
+        if name in lru_results
+    }

@@ -1,0 +1,57 @@
+"""Trace model, synthetic workload kernels, benchmark suite, and mixes."""
+
+from repro.traces.holdout import (
+    build_holdout_segments,
+    build_holdout_suite,
+    holdout_names,
+)
+from repro.traces.mixes import Mix, generate_mixes, split_train_test
+from repro.traces.synth import (
+    BurstyAccess,
+    ShuffledLoop,
+    GatherScatter,
+    HotCold,
+    ObjectWalk,
+    PhaseSpec,
+    PointerChase,
+    RegionScan,
+    StackChurn,
+    compose,
+)
+from repro.traces.trace import MemoryAccess, Segment, Trace
+from repro.traces.workloads import (
+    BenchmarkSpec,
+    all_segments,
+    benchmark_names,
+    build_segments,
+    build_suite,
+    get_benchmark,
+)
+
+__all__ = [
+    "build_holdout_segments",
+    "build_holdout_suite",
+    "holdout_names",
+    "Mix",
+    "generate_mixes",
+    "split_train_test",
+    "BurstyAccess",
+    "ShuffledLoop",
+    "GatherScatter",
+    "HotCold",
+    "ObjectWalk",
+    "PhaseSpec",
+    "PointerChase",
+    "RegionScan",
+    "StackChurn",
+    "compose",
+    "MemoryAccess",
+    "Segment",
+    "Trace",
+    "BenchmarkSpec",
+    "all_segments",
+    "benchmark_names",
+    "build_segments",
+    "build_suite",
+    "get_benchmark",
+]

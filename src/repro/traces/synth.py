@@ -1,0 +1,387 @@
+"""Composable synthetic access-pattern kernels.
+
+The paper evaluates on SPEC CPU 2006, CloudSuite, and mlpack traces
+(Section 4.2), which are unavailable here.  Instead, workloads are
+composed from the kernels below, each of which isolates one of the
+locality behaviors the paper's seven feature families key on
+(Section 3.2):
+
+* ``RegionScan`` — streaming or looping over a region; dead-on-arrival
+  blocks when the region exceeds the LLC (pc / bias features).
+* ``PointerChase`` — permutation chasing with reuse distance equal to
+  the node count (address / bias features).
+* ``HotCold`` — a small hot set embedded in a large cold region
+  (address feature, hot/cold set pressure for lastmiss).
+* ``ObjectWalk`` — per-object field dereferencing with field-specific
+  PCs and offsets (offset feature; gcc-style behavior, Section 6.4).
+* ``BurstyAccess`` — repeated back-to-back touches of an MRU block
+  (burst feature).
+* ``GatherScatter`` — uniform random access (stress, low locality).
+* ``StackChurn`` — LIFO push/pop reuse with writes (insert feature:
+  newly inserted blocks behave differently from re-referenced ones).
+
+Every kernel is a factory of generators yielding
+``(pc, address, is_write, gap)`` tuples; composition and determinism
+are handled by :func:`compose` and :class:`PhaseSpec`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+AccessTuple = Tuple[int, int, bool, int]
+KernelStream = Iterator[AccessTuple]
+KernelFactory = Callable[[random.Random], KernelStream]
+
+BLOCK = 64
+
+
+def _pcs(base: int, count: int) -> List[int]:
+    """A bank of distinct, 4-byte-aligned instruction addresses."""
+    return [base + 4 * i for i in range(count)]
+
+
+@dataclass(frozen=True)
+class RegionScan:
+    """Repeatedly scan ``size`` bytes from ``base`` with ``stride``.
+
+    With ``size`` much larger than the LLC every block is dead on
+    arrival; with ``size`` below LLC capacity every block is live.
+    """
+
+    base: int
+    size: int
+    stride: int = 16  # word-granular: several touches per 64 B block
+    pc_base: int = 0x400000
+    pc_count: int = 4
+    write_ratio: float = 0.1
+    gap_lo: int = 2
+    gap_hi: int = 8
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        pcs = _pcs(self.pc_base, self.pc_count)
+        offset = rng.randrange(0, max(1, self.size // self.stride)) * self.stride
+        randrange = rng.randrange
+        random01 = rng.random
+        size, stride, base = self.size, self.stride, self.base
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        write_ratio = self.write_ratio
+        pc_count = len(pcs)
+        i = 0
+        while True:
+            addr = base + (offset % size)
+            pc = pcs[i % pc_count]
+            yield pc, addr, random01() < write_ratio, randrange(gap_lo, gap_hi)
+            offset += stride
+            i += 1
+
+
+@dataclass(frozen=True)
+class PointerChase:
+    """Chase a fixed random permutation of ``nodes`` node headers."""
+
+    base: int
+    nodes: int
+    node_size: int = 64
+    pc_base: int = 0x410000
+    payload_fields: int = 0
+    gap_lo: int = 4
+    gap_hi: int = 12
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        order = list(range(self.nodes))
+        perm_rng = random.Random(0xC0FFEE ^ self.base)
+        perm_rng.shuffle(order)
+        next_node = {order[i]: order[(i + 1) % self.nodes] for i in range(self.nodes)}
+        pcs = _pcs(self.pc_base, 1 + self.payload_fields)
+        randrange = rng.randrange
+        base, node_size = self.base, self.node_size
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        node = order[0]
+        while True:
+            # The header load is address-dependent on the previous
+            # header load — the defining serialization of pointer
+            # chasing, which caps its memory-level parallelism at 1.
+            yield (pcs[0], base + node * node_size, False,
+                   randrange(gap_lo, gap_hi), True)
+            for f in range(self.payload_fields):
+                yield (
+                    pcs[1 + f],
+                    base + node * node_size + 8 * (f + 1),
+                    False,
+                    randrange(gap_lo, gap_hi),
+                )
+            node = next_node[node]
+
+
+@dataclass(frozen=True)
+class ShuffledLoop:
+    """Cyclic loop over a fixed *shuffled* order of blocks.
+
+    The canonical irregular working set (mcf-style): every pass touches
+    the same blocks in the same shuffled order, so the reuse distance
+    of every block equals the loop size, LRU hits nothing when the loop
+    exceeds the cache, and a stream prefetcher sees no sequential
+    pattern to latch onto.  Belady's MIN — and a good reuse predictor
+    driving bypass — pins a subset of the loop and hits on it every
+    pass.
+    """
+
+    base: int
+    size: int
+    pc_base: int = 0x470000
+    pc_count: int = 4
+    write_ratio: float = 0.05
+    touches_per_block: int = 2
+    gap_lo: int = 2
+    gap_hi: int = 8
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        blocks = max(2, self.size // BLOCK)
+        order = list(range(blocks))
+        random.Random(0x5EED ^ self.base).shuffle(order)
+        pcs = _pcs(self.pc_base, self.pc_count)
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        cursor = rng.randrange(blocks)
+        while True:
+            block_base = self.base + order[cursor % blocks] * BLOCK
+            cursor += 1
+            for t in range(1 + randrange(self.touches_per_block)):
+                yield (
+                    pcs[(cursor + t) % self.pc_count],
+                    block_base + randrange(8) * 8,
+                    random01() < self.write_ratio,
+                    randrange(gap_lo, gap_hi),
+                )
+
+
+@dataclass(frozen=True)
+class HotCold:
+    """Mix accesses between a small hot region and a large cold region."""
+
+    hot_base: int
+    hot_size: int
+    cold_base: int
+    cold_size: int
+    hot_prob: float = 0.7
+    pc_base: int = 0x420000
+    write_ratio: float = 0.05
+    gap_lo: int = 2
+    gap_hi: int = 10
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        hot_blocks = max(1, self.hot_size // BLOCK)
+        cold_blocks = max(1, self.cold_size // BLOCK)
+        pcs = _pcs(self.pc_base, 2)
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        cold_cursor = 0
+        while True:
+            if random01() < self.hot_prob:
+                block_base = self.hot_base + randrange(hot_blocks) * BLOCK
+                # Hot data is used, not just touched: a few word reads.
+                for _ in range(1 + randrange(2)):
+                    yield (
+                        pcs[0],
+                        block_base + randrange(8) * 8,
+                        random01() < self.write_ratio,
+                        randrange(gap_lo, gap_hi),
+                    )
+            else:
+                # The cold region is scanned, not random: cold blocks are
+                # touched once and never again, a canonical dead pattern.
+                addr = self.cold_base + (cold_cursor % cold_blocks) * BLOCK
+                cold_cursor += 1
+                yield (pcs[1], addr, random01() < self.write_ratio,
+                       randrange(gap_lo, gap_hi))
+
+
+@dataclass(frozen=True)
+class ObjectWalk:
+    """Visit objects and dereference several fields of each.
+
+    Field accesses use field-specific PCs and block offsets, the
+    behavior the paper attributes to gcc's heavy field dereferencing
+    when explaining the value of the ``offset`` feature (Section 6.4).
+    """
+
+    base: int
+    objects: int
+    object_size: int = 128
+    fields: Sequence[int] = (0, 8, 24, 48, 72)
+    pc_base: int = 0x430000
+    hot_fraction: float = 0.2
+    hot_prob: float = 0.6
+    write_ratio: float = 0.15
+    gap_lo: int = 1
+    gap_hi: int = 6
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        pcs = _pcs(self.pc_base, len(self.fields))
+        hot_objects = max(1, int(self.objects * self.hot_fraction))
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        while True:
+            if random01() < self.hot_prob:
+                obj = randrange(hot_objects)
+            else:
+                obj = randrange(self.objects)
+            obj_base = self.base + obj * self.object_size
+            nfields = 1 + randrange(len(self.fields))
+            for f in range(nfields):
+                yield (
+                    pcs[f],
+                    obj_base + self.fields[f],
+                    random01() < self.write_ratio,
+                    randrange(gap_lo, gap_hi),
+                )
+
+
+@dataclass(frozen=True)
+class BurstyAccess:
+    """Touch one block several times in a row before moving on.
+
+    Back-to-back accesses to the MRU block are exactly the signal the
+    ``burst`` feature captures (cache bursts, Section 3.2).
+    """
+
+    base: int
+    blocks: int
+    burst_lo: int = 2
+    burst_hi: int = 6
+    pc_base: int = 0x440000
+    revisit_prob: float = 0.3
+    gap_lo: int = 1
+    gap_hi: int = 4
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        pcs = _pcs(self.pc_base, 3)
+        recent: List[int] = []
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        while True:
+            if recent and random01() < self.revisit_prob:
+                blk = recent[randrange(len(recent))]
+            else:
+                blk = randrange(self.blocks)
+            recent.append(blk)
+            if len(recent) > 16:
+                recent.pop(0)
+            addr = self.base + blk * BLOCK
+            for i in range(randrange(self.burst_lo, self.burst_hi + 1)):
+                yield (
+                    pcs[min(i, 2)],
+                    addr + 8 * i,
+                    False,
+                    randrange(gap_lo, gap_hi),
+                )
+
+
+@dataclass(frozen=True)
+class GatherScatter:
+    """Uniform random accesses over a region (worst-case locality)."""
+
+    base: int
+    size: int
+    pc_base: int = 0x450000
+    write_ratio: float = 0.3
+    gap_lo: int = 3
+    gap_hi: int = 9
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        blocks = max(1, self.size // BLOCK)
+        pcs = _pcs(self.pc_base, 2)
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        while True:
+            block_base = self.base + randrange(blocks) * BLOCK
+            # Real gathers touch a couple of words of the fetched block.
+            for _ in range(1 + randrange(3)):
+                addr = block_base + randrange(8) * 8
+                write = random01() < self.write_ratio
+                yield pcs[int(write)], addr, write, randrange(gap_lo, gap_hi)
+
+
+@dataclass(frozen=True)
+class StackChurn:
+    """LIFO push/pop traffic: writes on push, reads on pop.
+
+    Freshly inserted blocks are reused almost immediately and then die,
+    giving the ``insert`` feature a clean signal.
+    """
+
+    base: int
+    max_depth_bytes: int = 16 * 1024
+    frame_bytes: int = 192
+    pc_base: int = 0x460000
+    gap_lo: int = 1
+    gap_hi: int = 5
+
+    def __call__(self, rng: random.Random) -> KernelStream:
+        pcs = _pcs(self.pc_base, 2)
+        max_frames = max(2, self.max_depth_bytes // self.frame_bytes)
+        randrange = rng.randrange
+        random01 = rng.random
+        gap_lo, gap_hi = self.gap_lo, self.gap_hi + 1
+        depth = 1
+        while True:
+            if depth <= 1 or (depth < max_frames and random01() < 0.55):
+                addr = self.base + depth * self.frame_bytes
+                yield pcs[0], addr, True, randrange(gap_lo, gap_hi)
+                depth += 1
+            else:
+                depth -= 1
+                addr = self.base + depth * self.frame_bytes
+                yield pcs[1], addr, False, randrange(gap_lo, gap_hi)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A weighted mixture of kernels, interleaved in short runs.
+
+    ``run_length`` accesses are drawn from one kernel before another is
+    (re)selected, producing the phase-local behavior real programs show
+    rather than a per-access shuffle.
+    """
+
+    kernels: Sequence[Tuple[KernelFactory, float]]
+    run_length: int = 48
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("PhaseSpec needs at least one kernel")
+        if any(w <= 0 for _, w in self.kernels):
+            raise ValueError("kernel weights must be positive")
+
+
+def compose(spec: PhaseSpec, count: int, seed: int) -> List[AccessTuple]:
+    """Materialize ``count`` accesses from a phase specification."""
+    rng = random.Random(seed)
+    streams = [factory(random.Random(seed ^ (0x9E37 + 31 * i))) for i, (factory, _) in enumerate(spec.kernels)]
+    weights = [w for _, w in spec.kernels]
+    out: List[AccessTuple] = []
+    append = out.append
+    run_length = spec.run_length
+    if len(streams) == 1:
+        stream = streams[0]
+        for _ in range(count):
+            append(next(stream))
+        return out
+    choices = rng.choices
+    indices = list(range(len(streams)))
+    produced = 0
+    while produced < count:
+        stream = streams[choices(indices, weights)[0]]
+        take = min(run_length, count - produced)
+        for _ in range(take):
+            append(next(stream))
+        produced += take
+    return out

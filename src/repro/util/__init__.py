@@ -1,0 +1,47 @@
+"""Shared utilities: bit manipulation, deterministic hashing, statistics."""
+
+from repro.util.bits import (
+    bit,
+    block_address,
+    block_offset,
+    extract_bits,
+    fold,
+    saturate,
+    sign_extend,
+)
+from repro.util.hashing import combine, hash_to, mix64, pc_hash, skewed_hashes
+from repro.util.stats import (
+    RocPoint,
+    arithmetic_mean,
+    auc,
+    geometric_mean,
+    mpki,
+    roc_curve,
+    roc_curve_fast,
+    s_curve,
+    weighted_speedup,
+)
+
+__all__ = [
+    "bit",
+    "block_address",
+    "block_offset",
+    "extract_bits",
+    "fold",
+    "saturate",
+    "sign_extend",
+    "combine",
+    "hash_to",
+    "mix64",
+    "pc_hash",
+    "skewed_hashes",
+    "RocPoint",
+    "arithmetic_mean",
+    "auc",
+    "geometric_mean",
+    "mpki",
+    "roc_curve",
+    "roc_curve_fast",
+    "s_curve",
+    "weighted_speedup",
+]

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.policies == ["lru", "mpppb-1a", "min"]
+        assert args.scale == ""
+
+    def test_compare_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--policies", "clock"])
+
+    def test_roc_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["roc", "--benchmark", "nope"])
+
+    def test_search_arguments(self):
+        args = build_parser().parse_args(
+            ["search", "--candidates", "5", "--steps", "3", "--seed", "1"])
+        assert (args.candidates, args.steps, args.seed) == (5, 3, 1)
+
+    def test_mix_arguments(self):
+        args = build_parser().parse_args(["mix", "--mixes", "2"])
+        assert args.mixes == 2
+
+
+class TestExecution:
+    def test_compare_unknown_benchmark_fails_cleanly(self, capsys):
+        code = main(["compare", "--benchmarks", "not_a_benchmark",
+                     "--scale", "tiny"])
+        assert code == 2
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_compare_runs_tiny(self, capsys):
+        code = main(["compare", "--benchmarks", "gamess",
+                     "--policies", "lru", "min", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gamess" in out
+        assert "geomean" in out
+
+    def test_mix_without_lru_prints_raw(self, capsys):
+        code = main(["mix", "--mixes", "2", "--policies", "srrip",
+                     "--scale", "tiny"])
+        assert code == 0
+        assert "raw weighted speedups" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are part of the public surface; they run here at ``tiny``
+scale so the whole suite stays fast.  Output correctness is covered by
+the underlying unit tests — these assert the scripts execute and
+produce their headline lines.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    monkeypatch.setattr(sys, "argv", ["example"])
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "MPPPB speedup over LRU" in out
+    assert "MPKI" in out
+
+
+def test_policy_comparison(capsys):
+    out = run_example("policy_comparison.py", capsys)
+    assert "speedup over LRU" in out
+    assert "geomean" in out
+
+
+def test_roc_curves(capsys):
+    out = run_example("roc_curves.py", capsys)
+    assert "multiperspective" in out
+    assert "AUC" in out
+
+
+def test_feature_search(capsys):
+    out = run_example("feature_search.py", capsys)
+    assert "Best feature set found" in out
+    assert "LRU mpki" in out
+
+
+def test_multi_programmed(capsys):
+    out = run_example("multi_programmed.py", capsys)
+    assert "weighted speedup over LRU" in out
+
+
+def test_custom_features(capsys):
+    out = run_example("custom_features.py", capsys)
+    assert "Hardware budget" in out
+    assert "mcf MPKI" in out

@@ -1,0 +1,163 @@
+"""Tests for the upper-level hierarchy driver and the LLC simulator."""
+
+import pytest
+
+from repro.cache.access import PREFETCH_PC
+from repro.cache.replacement.lru import LRUPolicy
+from repro.sim.hierarchy import SERVICE_L1, SERVICE_L2, HierarchyConfig, UpperLevels
+from repro.sim.llc import LLCAccess, LLCSimulator
+from repro.traces.trace import Trace
+
+SMALL = HierarchyConfig(l1_kib=4, l1_ways=4, l2_kib=16, l2_ways=8,
+                        llc_kib=64, llc_ways=16)
+
+
+def make_trace(addresses, pc=0x400, gap=3):
+    return Trace.from_accesses(
+        "t", [(pc + 4 * (i % 8), addr, False, gap) for i, addr in enumerate(addresses)]
+    )
+
+
+class TestHierarchyConfig:
+    def test_block_shift(self):
+        assert HierarchyConfig().block_shift == 6
+
+    def test_llc_bytes(self):
+        assert HierarchyConfig(llc_kib=2048).llc_bytes == 2 * 1024 * 1024
+
+
+class TestUpperLevels:
+    def test_repeated_access_served_by_l1(self):
+        trace = make_trace([0x1000] * 10)
+        result = UpperLevels(SMALL, prefetch=False).run(trace)
+        assert result.service[0] >= 0          # first access reaches LLC
+        assert result.service[1:] == [SERVICE_L1] * 9
+
+    def test_l2_serves_l1_evictions(self):
+        # Working set bigger than L1 (4 KB) but within L2 (16 KB).
+        addresses = [0x1000 + 64 * i for i in range(128)] * 2
+        result = UpperLevels(SMALL, prefetch=False).run(trace := make_trace(addresses))
+        second_pass = result.service[128:]
+        assert SERVICE_L2 in second_pass
+        assert all(s < 0 for s in second_pass)  # nothing reaches the LLC again
+
+    def test_llc_stream_contains_compulsory_misses(self):
+        addresses = [0x1000 + 64 * i for i in range(50)]
+        result = UpperLevels(SMALL, prefetch=False).run(make_trace(addresses))
+        demand = [a for a in result.llc_stream if not a.is_prefetch]
+        assert len(demand) == 50
+        assert [a.block for a in demand] == [(0x1000 + 64 * i) >> 6 for i in range(50)]
+
+    def test_instruction_indices_monotone(self):
+        addresses = [0x1000 + 64 * i for i in range(20)]
+        result = UpperLevels(SMALL, prefetch=False).run(make_trace(addresses, gap=3))
+        assert result.instr_indices == [3 + 4 * i for i in range(20)]
+        assert result.num_instructions == 20 * 4
+
+    def test_prefetches_carry_fake_pc(self):
+        addresses = [0x1000 + 64 * i for i in range(50)]
+        result = UpperLevels(SMALL, prefetch=True).run(make_trace(addresses))
+        prefetches = [a for a in result.llc_stream if a.is_prefetch]
+        assert prefetches, "a sequential stream must trigger prefetches"
+        assert all(a.pc == PREFETCH_PC for a in prefetches)
+
+    def test_prefetch_reduces_llc_demand_traffic(self):
+        addresses = [0x100000 + 64 * i for i in range(400)]
+        with_pf = UpperLevels(SMALL, prefetch=True).run(make_trace(addresses))
+        without_pf = UpperLevels(SMALL, prefetch=False).run(make_trace(addresses))
+        demand_with = sum(1 for a in with_pf.llc_stream if not a.is_prefetch)
+        demand_without = sum(1 for a in without_pf.llc_stream if not a.is_prefetch)
+        assert demand_with < demand_without
+
+    def test_prefetched_block_not_refetched(self):
+        # A prefetch fill lands in L2, so the later demand access to the
+        # same block is an L2 hit, not a second LLC access.
+        addresses = [0x1000 + 64 * i for i in range(50)]
+        result = UpperLevels(SMALL, prefetch=True).run(make_trace(addresses))
+        blocks = [a.block for a in result.llc_stream]
+        assert len(blocks) == len(set(blocks))
+
+    def test_warmup_boundary(self):
+        addresses = [0x1000 + 64 * i for i in range(50)]
+        result = UpperLevels(SMALL, prefetch=False).run(make_trace(addresses))
+        boundary = result.llc_warmup_boundary(25)
+        assert result.llc_stream[boundary].mem_index >= 25
+        assert result.llc_stream[boundary - 1].mem_index < 25
+
+    def test_warmup_boundary_past_end(self):
+        addresses = [0x1000]
+        result = UpperLevels(SMALL, prefetch=False).run(make_trace(addresses))
+        assert result.llc_warmup_boundary(10) == len(result.llc_stream)
+
+    def test_l1_stats_accumulate(self):
+        trace = make_trace([0x1000] * 10)
+        result = UpperLevels(SMALL, prefetch=False).run(trace)
+        assert result.l1_hits == 9
+        assert result.l1_misses == 1
+
+
+class TestLLCSimulator:
+    def _stream(self, blocks):
+        return [
+            LLCAccess(pc=0x400, block=b, offset=0, is_write=False,
+                      is_prefetch=False, mem_index=i, instr_index=i * 4)
+            for i, b in enumerate(blocks)
+        ]
+
+    def test_geometry_mismatch_rejected(self):
+        policy = LRUPolicy(8, 16)
+        with pytest.raises(ValueError):
+            LLCSimulator(64 * 1024, 16, policy)  # 64 sets != 8
+
+    def test_warmup_split(self):
+        policy = LRUPolicy(4, 4)
+        sim = LLCSimulator(4 * 4 * 64, 4, policy)
+        result = sim.run(self._stream([0, 0, 0, 0]), warmup=2)
+        assert result.warm_stats.accesses == 2
+        assert result.stats.accesses == 2
+        assert result.stats.hits == 2
+
+    def test_outcomes_cover_full_stream(self):
+        policy = LRUPolicy(4, 4)
+        sim = LLCSimulator(4 * 4 * 64, 4, policy)
+        result = sim.run(self._stream([0, 1, 0]), warmup=1)
+        assert result.outcomes == [False, False, True]
+
+    def test_prefetch_excluded_from_demand_stats(self):
+        policy = LRUPolicy(4, 4)
+        sim = LLCSimulator(4 * 4 * 64, 4, policy)
+        stream = self._stream([0, 1])
+        stream[1].is_prefetch = True
+        result = sim.run(stream)
+        assert result.stats.accesses == 2
+        assert result.stats.demand_accesses == 1
+        assert result.stats.demand_misses == 1
+
+    def test_eviction_counted(self):
+        policy = LRUPolicy(1, 2)
+        sim = LLCSimulator(1 * 2 * 64, 2, policy)
+        result = sim.run(self._stream([0, 1, 2]))
+        assert result.stats.evictions == 1
+
+    def test_lastmiss_bit_visible_to_policy(self):
+        seen = []
+
+        class Spy(LRUPolicy):
+            def on_access(self, set_idx, ctx, hit, way):
+                seen.append(ctx.last_was_miss)
+
+        sim = LLCSimulator(1 * 4 * 64, 4, Spy(1, 4))
+        sim.run(self._stream([0, 0, 0]))
+        assert seen == [False, True, False]
+
+    def test_mru_hit_flag(self):
+        seen = []
+
+        class Spy(LRUPolicy):
+            def on_access(self, set_idx, ctx, hit, way):
+                seen.append(ctx.is_mru_hit)
+
+        sim = LLCSimulator(1 * 4 * 64, 4, Spy(1, 4))
+        sim.run(self._stream([0, 1, 1, 0]))
+        # Access 2 hits block 1 at MRU; access 3 hits block 0 at LRU side.
+        assert seen == [False, False, True, False]

@@ -1,0 +1,112 @@
+"""Tests for the published feature-set presets and tuned configs."""
+
+import pytest
+
+from repro.core.features import (
+    AddressFeature,
+    BiasFeature,
+    InsertFeature,
+    PCFeature,
+)
+from repro.core.presets import (
+    TABLE_1A_SPECS,
+    TABLE_1B_SPECS,
+    TABLE_2_SPECS,
+    multi_core_tuned_config,
+    multi_programmed_config,
+    single_thread_config,
+    table_1a_features,
+    table_1b_features,
+    table_2_features,
+)
+
+
+class TestPublishedTables:
+    def test_all_tables_have_sixteen_features(self):
+        # The paper settled on 16 features per set (Section 5).
+        assert len(table_1a_features()) == 16
+        assert len(table_1b_features()) == 16
+        assert len(table_2_features()) == 16
+
+    def test_table_1a_duplicate_preserved(self):
+        """pc(17,6,20,0,1) appears twice in Table 1(a) — the paper
+        explains hill-climbing may duplicate a feature."""
+        assert TABLE_1A_SPECS.count("pc(17,6,20,0,1)") == 2
+
+    def test_shared_features_across_tables(self):
+        """The two single-thread sets share elements (Section 5.4)."""
+        shared = set(TABLE_1A_SPECS) & set(TABLE_1B_SPECS)
+        assert "pc(17,6,20,0,1)" in shared
+        assert "pc(7,14,43,11,0)" in shared
+        assert "offset(15,1,6,1)" in shared
+
+    def test_table_1a_has_no_plain_address_feature(self):
+        """Section 5.4 observation 1: single-thread sets barely use
+        address (it appears once, in set (b) only)."""
+        families_a = [f.family for f in table_1a_features()]
+        assert "address" not in families_a
+        families_b = [f.family for f in table_1b_features()]
+        assert families_b.count("address") == 1
+
+    def test_table_2_has_four_address_features(self):
+        """Section 5.4 observation 1: the multi-programmed set uses
+        four instances of address."""
+        families = [f.family for f in table_2_features()]
+        assert families.count("address") == 4
+
+    def test_table_2_has_no_insert_or_burst(self):
+        """Section 5.4 observations 3 and 6."""
+        families = [f.family for f in table_2_features()]
+        assert "insert" not in families
+        assert "burst" not in families
+
+    def test_insert_prominent_in_single_thread_sets(self):
+        families_a = [f.family for f in table_1a_features()]
+        families_b = [f.family for f in table_1b_features()]
+        assert families_a.count("insert") == 4
+        assert families_b.count("insert") == 3
+
+    def test_global_bias_counter_present(self):
+        """Section 5.4 observation 5: bias without XOR in 1(a) and
+        Table 2."""
+        assert BiasFeature(16, False) in table_1a_features()
+        assert BiasFeature(6, False) in table_2_features()
+
+
+class TestConfigs:
+    def test_single_thread_default_policy(self):
+        assert single_thread_config("a").default_policy == "mdpp"
+        assert single_thread_config("b").default_policy == "mdpp"
+
+    def test_single_thread_tables_differ(self):
+        assert single_thread_config("a").features != \
+            single_thread_config("b").features
+
+    def test_multi_programmed_uses_table2_over_srrip(self):
+        config = multi_programmed_config()
+        assert config.default_policy == "srrip"
+        assert config.features == table_2_features()
+
+    def test_tuned_multi_uses_table1a(self):
+        """The documented substitution (EXPERIMENTS.md deviation #1)."""
+        config = multi_core_tuned_config()
+        assert config.default_policy == "srrip"
+        assert config.features == table_1a_features()
+
+    def test_tau0_below_theta(self):
+        """The tuning invariant DESIGN.md records: bypass threshold
+        must sit below the training threshold or bypass never fires."""
+        for config in (single_thread_config("a"), single_thread_config("b"),
+                       multi_core_tuned_config(), multi_programmed_config()):
+            assert config.tau_bypass < config.theta
+
+    def test_overrides_respected(self):
+        config = single_thread_config("a", sampler_sets=32, theta=99)
+        assert config.sampler_sets == 32
+        assert config.theta == 99
+
+    def test_specific_published_entries_parse_exactly(self):
+        features = table_1b_features()
+        assert PCFeature(15, False, begin=14, end=32, depth=6) in features
+        assert AddressFeature(11, False, begin=8, end=19) in features
+        assert InsertFeature(15, False) in features

@@ -1,0 +1,91 @@
+"""Tests for the result-formatting module."""
+
+import pytest
+
+from repro.report import (
+    format_table,
+    mix_mpki_summary,
+    mpki_table,
+    speedup_table,
+    weighted_speedup_summary,
+)
+from repro.sim.multi import MixResult
+from repro.sim.single import BenchmarkResult, SegmentResult
+
+
+def bench_result(name, ipc, mpki):
+    segment = SegmentResult(
+        segment_name=f"{name}.p0", weight=1.0, ipc=ipc, mpki=mpki,
+        llc_accesses=100, llc_hits=50, llc_misses=50, llc_bypasses=0,
+        demand_misses=50, instructions=1000,
+    )
+    return BenchmarkResult(benchmark=name, segments=(segment,))
+
+
+def mix_result(name, ws_ipcs, mpki):
+    return MixResult(
+        mix_name=name, thread_names=("a", "b", "c", "d"),
+        ipcs=tuple(ws_ipcs), single_ipcs=(1.0,) * 4, mpki=mpki,
+        llc_misses=10, llc_bypasses=0,
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["x", 1.5], ["long", 2.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_precision(self):
+        table = format_table(["v"], [[1.23456]], precision=2)
+        assert "1.23" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestSpeedupTable:
+    def _results(self):
+        return {
+            "lru": {"x": bench_result("x", 1.0, 10.0),
+                    "y": bench_result("y", 2.0, 5.0)},
+            "mpppb": {"x": bench_result("x", 1.2, 8.0),
+                      "y": bench_result("y", 2.2, 4.0)},
+        }
+
+    def test_contains_speedups_and_geomean(self):
+        table = speedup_table(self._results())
+        assert "1.200" in table
+        assert "1.100" in table
+        assert "geomean" in table
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_table({"mpppb": {}}, baseline="lru")
+
+
+class TestMpkiTable:
+    def test_contains_means(self):
+        results = {
+            "lru": {"x": bench_result("x", 1.0, 10.0),
+                    "y": bench_result("y", 1.0, 20.0)},
+        }
+        table = mpki_table(results)
+        assert "15.000" in table  # mean of 10 and 20
+        assert "mean" in table
+
+
+class TestMultiSummaries:
+    def test_weighted_speedup_summary(self):
+        table = weighted_speedup_summary({"mpppb": [1.1, 0.9, 1.2]})
+        assert "mpppb" in table
+        assert "1" in table  # below-LRU count column
+
+    def test_mix_mpki_summary(self):
+        table = mix_mpki_summary({
+            "lru": [mix_result("m0", [1.0] * 4, 12.0),
+                    mix_result("m1", [1.0] * 4, 14.0)],
+        })
+        assert "13.000" in table

@@ -1,0 +1,66 @@
+"""Tests for the MSHR-occupancy and dependent-load timing extensions."""
+
+import pytest
+
+from repro.cpu.timing import TimingConfig, TimingModel
+
+
+def simulate(events, instructions, **cfg):
+    return TimingModel(TimingConfig(**cfg)).simulate(events, instructions)
+
+
+class TestDependentLoads:
+    def test_dependent_misses_serialize(self):
+        # Two misses 4 instructions apart: independent they overlap,
+        # dependent the second waits for the first to complete.
+        independent = simulate([(0, 230, False), (4, 230, False)], 100)
+        dependent = simulate([(0, 230, False), (4, 230, True)], 100)
+        assert dependent.cycles >= independent.cycles + 200
+
+    def test_chain_of_dependent_misses(self):
+        # A pointer chase of 5 misses costs ~5 latencies.
+        events = [(4 * i, 230, True) for i in range(5)]
+        result = simulate(events, 100)
+        assert result.cycles >= 5 * 230
+
+    def test_dependent_hit_cheap(self):
+        # Dependence on a fast L1 hit barely matters.
+        events = [(0, 3, False), (4, 230, True)]
+        result = simulate(events, 100)
+        assert result.cycles < 300
+
+    def test_two_tuple_events_still_accepted(self):
+        # Backward-compatible event format without the depends flag.
+        result = simulate([(0, 230), (4, 230)], 100)
+        assert result.cycles < 300
+
+
+class TestMSHRLimit:
+    def test_more_mshrs_never_slower(self):
+        events = [(i, 230, False) for i in range(0, 64, 2)]
+        small = simulate(events, 200, mshr_limit=2)
+        large = simulate(events, 200, mshr_limit=32)
+        assert large.cycles <= small.cycles
+
+    def test_single_mshr_serializes_misses(self):
+        events = [(i, 230, False) for i in range(8)]
+        result = simulate(events, 100, mshr_limit=1)
+        assert result.cycles >= 8 * 230
+
+    def test_hits_do_not_occupy_mshrs(self):
+        # L1/L2 hits (latency below llc_latency) bypass the MSHR pool.
+        hits = [(i, 12, False) for i in range(32)]
+        result = simulate(hits, 200, mshr_limit=1)
+        assert result.cycles < 100
+
+    def test_rejects_zero_mshrs(self):
+        with pytest.raises(ValueError):
+            TimingConfig(mshr_limit=0)
+
+    def test_completed_requests_release_mshrs(self):
+        # Misses far apart in time reuse the same MSHR without penalty.
+        events = [(i * 2000, 230, False) for i in range(4)]
+        result = simulate(events, 10_000, mshr_limit=1)
+        # Each miss completes long before the next dispatches, so the
+        # single MSHR never stalls anything: the front end dominates.
+        assert result.cycles == pytest.approx(10_000 / 4)

@@ -1,0 +1,286 @@
+"""Tests for the trace model, synthetic kernels, workload suite, and mixes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.mixes import generate_mixes, split_train_test
+from repro.traces.synth import (
+    BurstyAccess,
+    GatherScatter,
+    HotCold,
+    ObjectWalk,
+    PhaseSpec,
+    PointerChase,
+    RegionScan,
+    StackChurn,
+    compose,
+)
+from repro.traces.trace import MemoryAccess, Segment, Trace
+from repro.traces.workloads import (
+    all_segments,
+    benchmark_names,
+    build_segments,
+    build_suite,
+    get_benchmark,
+)
+
+LLC = 512 * 1024
+
+
+class TestTrace:
+    def test_from_accesses_roundtrip(self):
+        tuples = [(0x400, 0x1000, False, 2), (0x404, 0x1040, True, 3)]
+        trace = Trace.from_accesses("t", tuples)
+        assert len(trace) == 2
+        accesses = list(trace)
+        assert accesses[0] == MemoryAccess(0x400, 0x1000, False, 2)
+        assert accesses[1] == MemoryAccess(0x404, 0x1040, True, 6)
+
+    def test_instruction_count(self):
+        trace = Trace.from_accesses("t", [(1, 2, False, 4), (1, 2, False, 0)])
+        assert trace.num_instructions == 6
+        assert trace.num_accesses == 2
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            Trace.from_accesses("t", [(1, 2, False, -1)])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trace("t", [1], [2, 3], [False], [0])
+
+    def test_slice(self):
+        trace = Trace.from_accesses(
+            "t", [(i, 64 * i, False, 1) for i in range(10)]
+        )
+        sub = trace.slice(2, 5)
+        assert len(sub) == 3
+        assert sub.pcs == [2, 3, 4]
+
+    def test_segment_rejects_nonpositive_weight(self):
+        trace = Trace.from_accesses("t", [(1, 2, False, 0)])
+        with pytest.raises(ValueError):
+            Segment("s", trace, 0.0)
+
+
+class TestKernels:
+    def _take(self, kernel, n=200, seed=1):
+        stream = kernel(random.Random(seed))
+        return [next(stream) for _ in range(n)]
+
+    def test_region_scan_stays_in_region(self):
+        kernel = RegionScan(base=0x10000, size=4096)
+        for pc, addr, _, gap in self._take(kernel):
+            assert 0x10000 <= addr < 0x10000 + 4096
+            assert gap >= 0
+
+    def test_region_scan_is_sequential(self):
+        kernel = RegionScan(base=0, size=1 << 20, stride=64, write_ratio=0.0)
+        accesses = self._take(kernel, 50)
+        deltas = {b[1] - a[1] for a, b in zip(accesses, accesses[1:])}
+        # Monotone stride except at the wrap point.
+        assert deltas <= {64, 64 - (1 << 20)}
+
+    def test_pointer_chase_is_permutation(self):
+        kernel = PointerChase(base=0, nodes=32, node_size=64)
+        addrs = [rec[1] for rec in self._take(kernel, 32)]
+        assert len(set(addrs)) == 32  # full cycle before repeating
+
+    def test_pointer_chase_repeats_cycle(self):
+        kernel = PointerChase(base=0, nodes=16, node_size=64)
+        addrs = [rec[1] for rec in self._take(kernel, 32)]
+        assert addrs[:16] == addrs[16:]
+
+    def test_pointer_chase_headers_are_dependent_loads(self):
+        kernel = PointerChase(base=0, nodes=16, node_size=64)
+        records = self._take(kernel, 16)
+        assert all(len(rec) == 5 and rec[4] for rec in records)
+
+    def test_hot_cold_prefers_hot(self):
+        kernel = HotCold(hot_base=0, hot_size=4096,
+                         cold_base=1 << 20, cold_size=1 << 20, hot_prob=0.9)
+        accesses = self._take(kernel, 500)
+        hot = sum(1 for _, a, _, _ in accesses if a < 4096)
+        assert hot > 350
+
+    def test_hot_cold_cold_blocks_not_revisited(self):
+        kernel = HotCold(hot_base=0, hot_size=4096,
+                         cold_base=1 << 20, cold_size=1 << 24, hot_prob=0.5)
+        cold = [a >> 6 for _, a, _, _ in self._take(kernel, 400) if a >= 1 << 20]
+        assert len(cold) == len(set(cold))
+
+    def test_object_walk_offsets_match_fields(self):
+        fields = (0, 8, 24)
+        kernel = ObjectWalk(base=0, objects=64, object_size=128, fields=fields)
+        for _, addr, _, _ in self._take(kernel, 300):
+            assert addr % 128 in fields
+
+    def test_object_walk_field_pcs_distinct(self):
+        kernel = ObjectWalk(base=0, objects=64, pc_base=0x1000)
+        pcs = {pc for pc, _, _, _ in self._take(kernel, 300)}
+        assert len(pcs) > 1
+
+    def test_bursty_access_repeats_blocks(self):
+        kernel = BurstyAccess(base=0, blocks=1024, burst_lo=3, burst_hi=3)
+        accesses = self._take(kernel, 30)
+        blocks = [a >> 6 for _, a, _, _ in accesses]
+        repeats = sum(1 for x, y in zip(blocks, blocks[1:]) if x == y)
+        assert repeats >= len(blocks) // 2
+
+    def test_gather_scatter_covers_region(self):
+        kernel = GatherScatter(base=0, size=1 << 16)
+        blocks = {a >> 6 for _, a, _, _ in self._take(kernel, 2000)}
+        assert len(blocks) > 400
+
+    def test_stack_churn_write_then_read(self):
+        kernel = StackChurn(base=0)
+        accesses = self._take(kernel, 400)
+        # Every popped (read) frame must have been pushed (written) before.
+        written = set()
+        for _, addr, is_write, _ in accesses:
+            if is_write:
+                written.add(addr)
+            else:
+                assert addr in written
+
+    def test_kernels_deterministic(self):
+        kernel = GatherScatter(base=0, size=1 << 16)
+        assert self._take(kernel, 100, seed=42) == self._take(kernel, 100, seed=42)
+
+
+class TestCompose:
+    def test_produces_exact_count(self):
+        spec = PhaseSpec([(RegionScan(base=0, size=4096), 1.0)])
+        assert len(compose(spec, 123, seed=5)) == 123
+
+    def test_mixture_uses_all_kernels(self):
+        spec = PhaseSpec([
+            (RegionScan(base=0, size=4096, pc_base=0x1000), 1.0),
+            (GatherScatter(base=1 << 20, size=4096, pc_base=0x2000), 1.0),
+        ], run_length=16)
+        accesses = compose(spec, 2000, seed=9)
+        pcs = {pc for pc, _, _, _ in accesses}
+        assert any(pc < 0x2000 for pc in pcs)
+        assert any(pc >= 0x2000 for pc in pcs)
+
+    def test_deterministic(self):
+        spec = PhaseSpec([
+            (RegionScan(base=0, size=4096), 2.0),
+            (GatherScatter(base=1 << 20, size=4096), 1.0),
+        ])
+        assert compose(spec, 500, seed=11) == compose(spec, 500, seed=11)
+
+    def test_seed_changes_stream(self):
+        spec = PhaseSpec([(GatherScatter(base=0, size=1 << 16), 1.0)])
+        assert compose(spec, 200, seed=1) != compose(spec, 200, seed=2)
+
+    def test_rejects_empty_kernels(self):
+        with pytest.raises(ValueError):
+            PhaseSpec([])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            PhaseSpec([(RegionScan(base=0, size=64), 0.0)])
+
+
+class TestWorkloadSuite:
+    def test_suite_has_33_benchmarks(self):
+        assert len(benchmark_names()) == 33
+
+    def test_expected_names_present(self):
+        names = set(benchmark_names())
+        for expected in ("mcf", "gcc", "lbm", "data_caching", "graph_analytics",
+                         "sat_solver", "mlpack_cf", "xalancbmk"):
+            assert expected in names
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_build_segments_weights_and_lengths(self):
+        segments = build_segments("gcc", LLC, accesses=500)
+        assert len(segments) == 3
+        assert all(len(s.trace) == 500 for s in segments)
+        assert sum(s.weight for s in segments) == pytest.approx(1.0)
+
+    def test_segments_deterministic(self):
+        a = build_segments("mcf", LLC, accesses=300, seed=7)
+        b = build_segments("mcf", LLC, accesses=300, seed=7)
+        assert a[0].trace.addresses == b[0].trace.addresses
+
+    def test_benchmarks_use_disjoint_address_spaces(self):
+        mcf = build_segments("mcf", LLC, accesses=300)[0].trace
+        gcc = build_segments("gcc", LLC, accesses=300)[0].trace
+        assert not (set(a >> 40 for a in mcf.addresses)
+                    & set(a >> 40 for a in gcc.addresses))
+
+    def test_all_segments_flattens(self):
+        segments = all_segments(LLC, accesses=100, names=["mcf", "lbm"])
+        assert len(segments) == 3  # mcf has 2 segments, lbm has 1
+
+    def test_build_suite_subset(self):
+        suite = build_suite(LLC, accesses=100, names=["lbm"])
+        assert set(suite) == {"lbm"}
+
+    def test_streaming_benchmark_exceeds_llc(self):
+        lbm = build_segments("lbm", LLC, accesses=20_000)[0].trace
+        footprint_blocks = len({a >> 6 for a in lbm.addresses})
+        assert footprint_blocks * 64 > LLC  # dead-on-arrival regime
+
+    def test_cache_friendly_benchmark_fits(self):
+        gamess = build_segments("gamess", LLC, accesses=20_000)[0].trace
+        footprint_blocks = len({a >> 6 for a in gamess.addresses})
+        assert footprint_blocks * 64 < LLC
+
+
+class TestMixes:
+    def _segments(self, count=10):
+        trace = Trace.from_accesses("t", [(1, 64, False, 1)])
+        return [Segment(f"s{i}", trace, 1.0) for i in range(count)]
+
+    def test_generates_requested_count(self):
+        mixes = generate_mixes(self._segments(), count=5)
+        assert len(mixes) == 5
+        assert all(len(m.segments) == 4 for m in mixes)
+
+    def test_mix_members_distinct(self):
+        for mix in generate_mixes(self._segments(), count=20):
+            names = [s.name for s in mix.segments]
+            assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        a = generate_mixes(self._segments(), count=5, seed=3)
+        b = generate_mixes(self._segments(), count=5, seed=3)
+        assert [[s.name for s in m.segments] for m in a] == \
+            [[s.name for s in m.segments] for m in b]
+
+    def test_mixes_are_distinct(self):
+        mixes = generate_mixes(self._segments(30), count=50)
+        keys = {tuple(s.name for s in m.segments) for m in mixes}
+        assert len(keys) == 50
+
+    def test_rejects_too_few_segments(self):
+        with pytest.raises(ValueError):
+            generate_mixes(self._segments(3), count=1)
+
+    def test_split_train_test(self):
+        mixes = generate_mixes(self._segments(), count=10)
+        train, test = split_train_test(mixes, 3)
+        assert len(train) == 3 and len(test) == 7
+        assert train[0].name == "mix0000"
+
+    def test_split_rejects_bad_counts(self):
+        mixes = generate_mixes(self._segments(), count=4)
+        with pytest.raises(ValueError):
+            split_train_test(mixes, 0)
+        with pytest.raises(ValueError):
+            split_train_test(mixes, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=1, max_value=6))
+    def test_property_counts(self, pool, count):
+        mixes = generate_mixes(self._segments(pool), count=count)
+        assert len(mixes) == count

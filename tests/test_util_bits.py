@@ -1,0 +1,120 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit,
+    block_address,
+    block_offset,
+    extract_bits,
+    fold,
+    saturate,
+    sign_extend,
+)
+
+
+class TestBit:
+    def test_low_bit(self):
+        assert bit(0b1011, 0) == 1
+        assert bit(0b1011, 2) == 0
+
+    def test_high_bit(self):
+        assert bit(1 << 63, 63) == 1
+
+
+class TestExtractBits:
+    def test_simple_range(self):
+        assert extract_bits(0b11010110, 1, 3) == 0b011
+
+    def test_single_bit_range(self):
+        assert extract_bits(0b100, 2, 2) == 1
+
+    def test_reversed_endpoints_normalized(self):
+        # The published feature tables contain ranges with begin > end,
+        # e.g. pc(9,11,7,16,0); both orders must agree.
+        assert extract_bits(0xDEADBEEF, 11, 7) == extract_bits(0xDEADBEEF, 7, 11)
+
+    def test_clamped_to_64_bits(self):
+        assert extract_bits(0xFFFF, 0, 200) == 0xFFFF
+
+    def test_negative_lo_clamped(self):
+        assert extract_bits(0b101, -3, 2) == 0b101
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_extract_matches_shift_mask(self, value, a, b):
+        lo, hi = min(a, b), max(a, b)
+        expected = (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+        assert extract_bits(value, a, b) == expected
+
+
+class TestFold:
+    def test_identity_when_value_fits(self):
+        assert fold(0b101, 8) == 0b101
+
+    def test_folds_high_bits(self):
+        # 0x1_00 folded to 8 bits XORs the carry bit back in.
+        assert fold(0x100, 8) == 0x1
+
+    def test_width_one(self):
+        # Parity of all bits.
+        assert fold(0b1011, 1) == 1
+        assert fold(0b1111, 1) == 0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            fold(5, 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_result_in_range(self, value, width):
+        assert 0 <= fold(value, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_deterministic(self, value, width):
+        assert fold(value, width) == fold(value, width)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0b0101, 4) == 5
+
+    def test_negative(self):
+        assert sign_extend(0b1111, 4) == -1
+        assert sign_extend(0b1000, 4) == -8
+
+    @given(st.integers(min_value=-32, max_value=31))
+    def test_roundtrip_six_bit(self, value):
+        assert sign_extend(value & 0x3F, 6) == value
+
+
+class TestSaturate:
+    def test_within(self):
+        assert saturate(5, -32, 31) == 5
+
+    def test_clamps_low(self):
+        assert saturate(-100, -32, 31) == -32
+
+    def test_clamps_high(self):
+        assert saturate(100, -32, 31) == 31
+
+    @given(st.integers(), st.integers(min_value=-64, max_value=0),
+           st.integers(min_value=1, max_value=64))
+    def test_always_in_range(self, value, lo, hi):
+        assert lo <= saturate(value, lo, hi) <= hi
+
+
+class TestBlockAddressing:
+    def test_block_address_strips_offset(self):
+        assert block_address(0x1234) == 0x1234 >> 6
+
+    def test_block_offset(self):
+        assert block_offset(0x1234) == 0x34
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_reconstruction(self, addr):
+        assert (block_address(addr) << 6) | block_offset(addr) == addr

@@ -1,0 +1,144 @@
+"""Unit and property tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    RocPoint,
+    arithmetic_mean,
+    auc,
+    geometric_mean,
+    mpki,
+    roc_curve,
+    roc_curve_fast,
+    s_curve,
+    weighted_speedup,
+)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+class TestMpki:
+    def test_basic(self):
+        assert mpki(misses=50, instructions=10_000) == pytest.approx(5.0)
+
+    def test_zero_misses(self):
+        assert mpki(0, 1000) == 0.0
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        # Threads running at their standalone IPC give N (4 for 4 cores).
+        assert weighted_speedup([1.0] * 4, [1.0] * 4) == pytest.approx(4.0)
+
+    def test_slowdown(self):
+        assert weighted_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestSCurve:
+    def test_ascending_default(self):
+        assert s_curve([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_descending(self):
+        assert s_curve([3.0, 1.0, 2.0], descending=True) == [3.0, 2.0, 1.0]
+
+
+class TestRocCurve:
+    def _sample(self):
+        confidences = [-10, -5, 0, 5, 10, 15]
+        labels = [False, False, False, True, True, True]
+        return confidences, labels
+
+    def test_perfect_separation(self):
+        conf, labels = self._sample()
+        [point] = roc_curve(conf, labels, thresholds=[2])
+        assert point.true_positive_rate == 1.0
+        assert point.false_positive_rate == 0.0
+
+    def test_threshold_too_low_flags_everything(self):
+        conf, labels = self._sample()
+        [point] = roc_curve(conf, labels, thresholds=[-100])
+        assert point.true_positive_rate == 1.0
+        assert point.false_positive_rate == 1.0
+
+    def test_rates_monotone_in_threshold(self):
+        conf = list(range(-20, 21))
+        labels = [c > 3 for c in conf]
+        points = roc_curve(conf, labels, thresholds=list(range(-25, 25, 5)))
+        fprs = [p.false_positive_rate for p in points]
+        tprs = [p.true_positive_rate for p in points]
+        assert fprs == sorted(fprs, reverse=True)
+        assert tprs == sorted(tprs, reverse=True)
+
+    def test_fast_matches_reference(self):
+        import random
+
+        rng = random.Random(7)
+        conf = [rng.uniform(-50, 50) for _ in range(500)]
+        labels = [rng.random() < 0.4 for _ in range(500)]
+        thresholds = list(range(-40, 41, 10))
+        slow = roc_curve(conf, labels, thresholds)
+        fast = roc_curve_fast(conf, labels, thresholds)
+        for a, b in zip(slow, fast):
+            assert a.false_positive_rate == pytest.approx(b.false_positive_rate)
+            assert a.true_positive_rate == pytest.approx(b.true_positive_rate)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve([1.0], [True, False], [0.0])
+
+
+class TestAuc:
+    def test_perfect_predictor(self):
+        points = [RocPoint(0.0, 0.0, 1.0)]
+        assert auc(points) == pytest.approx(1.0)
+
+    def test_random_predictor_diagonal(self):
+        points = [RocPoint(t, t / 10.0, t / 10.0) for t in range(11)]
+        assert auc(points) == pytest.approx(0.5)
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1),
+                  st.floats(min_value=0, max_value=1)),
+        min_size=1, max_size=10))
+    def test_bounded(self, coords):
+        points = [RocPoint(i, fpr, tpr) for i, (fpr, tpr) in enumerate(coords)]
+        assert 0.0 <= auc(points) <= 1.0 + 1e-9
