@@ -16,7 +16,7 @@ results.
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import (
     MultiProgrammedRunner,
@@ -25,14 +25,15 @@ from repro import (
     cross_validated_configs,
     generate_mixes,
     get_scale,
-    policy_factory,
     split_train_test,
 )
 from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.exec import MixCell, ParallelRunner, SingleCell, SuiteSpec, TraceSpec
 from repro.sim.multi import MixResult
 from repro.sim.single import BenchmarkResult
 from repro.traces.mixes import Mix
 from repro.traces.trace import Segment
+from repro.traces.workloads import benchmark_names
 
 SCALE = get_scale()
 
@@ -40,6 +41,12 @@ SCALE = get_scale()
 MULTI_SEGMENT_ACCESSES = max(4_000, SCALE.segment_accesses // 3)
 MULTI_TEST_MIXES = 8     # test mixes replayed by Figures 4 and 5
 SWEEP_MIXES = 4          # mixes used by the Figure 9/10 ablation sweeps
+
+# One engine per bench session: REPRO_JOBS workers (default serial) and
+# the REPRO_CACHE_DIR on-disk result cache (default .repro-cache), so
+# results survive process exit the way the lru_caches below survive a
+# pytest session.
+ENGINE = ParallelRunner()
 
 
 def header(title: str, notes: str = "") -> None:
@@ -68,19 +75,30 @@ def mpppb_cv_factory(config: MPPPBConfig):
     return lambda num_sets, ways: MPPPBPolicy(num_sets, ways, config)
 
 
+def _single_cell(benchmark: str, policy: str,
+                 config: Optional[MPPPBConfig] = None) -> SingleCell:
+    return SingleCell(
+        trace=TraceSpec(benchmark, SCALE.hierarchy.llc_bytes,
+                        SCALE.segment_accesses),
+        policy=policy,
+        hierarchy=SCALE.hierarchy,
+        mpppb_config=config,
+        warmup_fraction=SCALE.warmup_fraction,
+    )
+
+
 @functools.lru_cache(maxsize=None)
 def single_thread_results(policy: str) -> Dict[str, BenchmarkResult]:
     """Suite results for one policy name (cross-validated for MPPPB)."""
-    suite = single_thread_suite()
-    runner = single_thread_runner()
+    names = sorted(benchmark_names())
     if policy == "mpppb":
-        configs = cross_validated_configs(list(suite))
-        return {
-            name: runner.run_benchmark(name, suite[name],
-                                       mpppb_cv_factory(configs[name]))
-            for name in sorted(suite)
-        }
-    return runner.run_suite(suite, policy_factory(policy))
+        configs = cross_validated_configs(names)
+        cells = [_single_cell(name, "mpppb", configs[name]) for name in names]
+    else:
+        cells = [_single_cell(name, policy) for name in names]
+    results = ENGINE.run(cells, label=f"single/{policy}")
+    print(ENGINE.last_report.summary())
+    return dict(zip(names, results))
 
 
 # -- multi-programmed ------------------------------------------------------
@@ -102,21 +120,40 @@ def multi_mixes() -> Tuple[List[Mix], List[Mix]]:
     return split_train_test(mixes, SCALE.train_mix_count)
 
 
+def _mix_suite_spec() -> SuiteSpec:
+    return SuiteSpec(SCALE.hierarchy.llc_bytes, MULTI_SEGMENT_ACCESSES)
+
+
+def run_mixes(mixes: Sequence[Mix], policy: str,
+              config: Optional[MPPPBConfig] = None) -> List[MixResult]:
+    """Replay mixes under one policy through the experiment engine."""
+    suite_spec = _mix_suite_spec()
+    cells = [
+        MixCell(
+            suite=suite_spec,
+            mix_name=mix.name,
+            segment_names=tuple(s.name for s in mix.segments),
+            policy=policy,
+            hierarchy=SCALE.multi_hierarchy,
+            mpppb_config=config,
+            warmup_fraction=SCALE.warmup_fraction,
+        )
+        for mix in mixes
+    ]
+    results = ENGINE.run(cells, label=f"mix/{policy}")
+    print(ENGINE.last_report.summary())
+    return results
+
+
 @functools.lru_cache(maxsize=None)
 def multi_results(policy: str) -> List[MixResult]:
     """Test-mix results for one policy name (capped for bench runtime)."""
     _, test = multi_mixes()
-    runner = multi_runner()
-    return [
-        runner.run_mix(mix, policy_factory(policy))
-        for mix in test[:MULTI_TEST_MIXES]
-    ]
+    return run_mixes(test[:MULTI_TEST_MIXES], policy)
 
 
 def run_mixes_with_config(config: MPPPBConfig, mixes: Sequence[Mix]) -> List[MixResult]:
-    runner = multi_runner()
-    factory = mpppb_cv_factory(config)
-    return [runner.run_mix(mix, factory) for mix in mixes]
+    return run_mixes(mixes, "mpppb", config)
 
 
 def print_s_curve(name: str, values: Sequence[float], buckets: int = 12) -> None:

@@ -9,7 +9,7 @@ alone, without prediction) on the single-thread suite sample.
 
 from __future__ import annotations
 
-from _shared import SCALE, header, single_thread_runner, single_thread_suite
+from _shared import header, single_thread_runner, single_thread_suite
 from repro import policy_factory, single_thread_config
 from repro.core.mpppb import MPPPBPolicy
 from repro.util.stats import arithmetic_mean

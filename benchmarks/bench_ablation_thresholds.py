@@ -10,7 +10,7 @@ optimization.
 
 from __future__ import annotations
 
-from _shared import SCALE, header, single_thread_runner, single_thread_suite
+from _shared import header, single_thread_runner, single_thread_suite
 from repro import single_thread_config
 from repro.core.mpppb import MPPPBPolicy
 from repro.util.stats import arithmetic_mean

@@ -17,6 +17,9 @@ The package provides:
   multi-programmed mixes.
 * ``repro.search`` — the random-search + hill-climbing feature
   exploration of Section 5.
+* ``repro.exec`` — the parallel experiment engine: cache-aware fan-out
+  of experiment cells across worker processes with a content-addressed
+  on-disk result cache (``REPRO_JOBS`` / ``REPRO_CACHE_DIR``).
 
 See ``examples/quickstart.py`` for a complete runnable example.
 """
@@ -34,6 +37,17 @@ from repro.core import (
     table_1a_features,
     table_1b_features,
     table_2_features,
+)
+from repro.exec import (
+    MixCell,
+    ParallelRunner,
+    ResultStore,
+    SearchCell,
+    SingleCell,
+    SuiteSpec,
+    TraceSpec,
+    default_store,
+    resolve_jobs,
 )
 from repro.policies import make_policy, policy_factory, policy_names
 from repro.sim import (
@@ -78,6 +92,15 @@ __all__ = [
     "table_1a_features",
     "table_1b_features",
     "table_2_features",
+    "MixCell",
+    "ParallelRunner",
+    "ResultStore",
+    "SearchCell",
+    "SingleCell",
+    "SuiteSpec",
+    "TraceSpec",
+    "default_store",
+    "resolve_jobs",
     "make_policy",
     "policy_factory",
     "policy_names",

@@ -11,7 +11,7 @@ and ``lastmiss``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 PREFETCH_PC = 0x0BADC0DE

@@ -20,7 +20,7 @@ most-recently-used position, which the ``burst`` feature needs
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.cache.access import AccessContext
 

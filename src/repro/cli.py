@@ -9,6 +9,12 @@ Four subcommands cover the library's main entry points::
 
 All commands honor ``--scale`` (or the ``REPRO_SCALE`` environment
 variable) and print the same table layouts the bench harness uses.
+
+``compare``, ``search``, and ``mix`` run through the ``repro.exec``
+engine: ``--jobs N`` (or ``REPRO_JOBS``) fans independent experiment
+cells across worker processes, and ``--cache-dir`` (or
+``REPRO_CACHE_DIR``; default ``.repro-cache``, ``off`` to disable)
+reuses results across invocations via the on-disk cache.
 """
 
 from __future__ import annotations
@@ -18,29 +24,42 @@ import sys
 from typing import List, Optional
 
 from repro import (
-    MultiProgrammedRunner,
-    SingleThreadRunner,
     TrainedMultiperspective,
     build_suite,
     generate_mixes,
     get_scale,
     measure_roc,
     normalized_weighted_speedups,
-    policy_factory,
     policy_names,
     single_thread_config,
 )
+from repro.exec import MixCell, ParallelRunner, SingleCell, SuiteSpec, TraceSpec
 from repro.report import (
     mpki_table,
     speedup_table,
     weighted_speedup_summary,
 )
+from repro.search.evaluator import FeatureSetEvaluator
 from repro.traces.workloads import benchmark_names
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="",
                         help="tiny / small / paper (default: $REPRO_SCALE)")
+
+
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1; "
+                             "0 = one per CPU)")
+    parser.add_argument("--cache-dir", default="", metavar="DIR",
+                        help="on-disk result cache (default: $REPRO_CACHE_DIR "
+                             "or .repro-cache; 'off' disables)")
+
+
+def _engine(args: argparse.Namespace) -> ParallelRunner:
+    return ParallelRunner.from_options(jobs=args.jobs,
+                                       cache_dir=args.cache_dir)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -50,13 +69,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown benchmarks: {sorted(unknown)}", file=sys.stderr)
         return 2
-    suite = build_suite(scale.hierarchy.llc_bytes, scale.segment_accesses,
-                        names=names)
-    runner = SingleThreadRunner(scale.hierarchy,
-                                warmup_fraction=scale.warmup_fraction)
+    ordered = sorted(dict.fromkeys(names))
+    engine = _engine(args)
     results = {}
     for policy in args.policies:
-        results[policy] = runner.run_suite(suite, policy_factory(policy))
+        cells = [
+            SingleCell(
+                trace=TraceSpec(name, scale.hierarchy.llc_bytes,
+                                scale.segment_accesses),
+                policy=policy,
+                hierarchy=scale.hierarchy,
+                warmup_fraction=scale.warmup_fraction,
+            )
+            for name in ordered
+        ]
+        results[policy] = dict(
+            zip(ordered, engine.run(cells, label=f"compare/{policy}"))
+        )
+        print(engine.last_report.summary())
     print(mpki_table(results))
     if "lru" in results and len(results) > 1:
         print()
@@ -94,17 +124,21 @@ def cmd_roc(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    from repro.search import FeatureSetEvaluator, hill_climb, random_search
-    from repro.traces.workloads import all_segments
+    from repro.search import hill_climb, random_search
 
     scale = get_scale(args.scale)
-    segments = all_segments(
+    spec = SuiteSpec(
         scale.hierarchy.llc_bytes, max(2_000, scale.segment_accesses // 4),
-        names=["soplex", "lbm", "gamess"],
+        names=("soplex", "lbm", "gamess"),
     )
-    evaluator = FeatureSetEvaluator(segments, scale.hierarchy,
-                                    warmup_fraction=scale.warmup_fraction)
+    engine = _engine(args)
+    evaluator = FeatureSetEvaluator.from_spec(
+        spec, scale.hierarchy, warmup_fraction=scale.warmup_fraction,
+        executor=engine,
+    )
     candidates = random_search(evaluator, args.candidates, seed=args.seed)
+    if engine.last_report is not None:
+        print(engine.last_report.summary())
     print(f"best random set: {candidates[0].mpki:.3f} MPKI "
           f"(worst {candidates[-1].mpki:.3f})")
     refined = hill_climb(evaluator, candidates[0].features, steps=args.steps,
@@ -117,16 +151,27 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def cmd_mix(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    suite = build_suite(scale.hierarchy.llc_bytes,
-                        max(2_000, scale.segment_accesses // 3))
+    accesses = max(2_000, scale.segment_accesses // 3)
+    suite = build_suite(scale.hierarchy.llc_bytes, accesses)
     segments = [s for name in sorted(suite) for s in suite[name]]
     mixes = generate_mixes(segments, args.mixes)
-    runner = MultiProgrammedRunner(scale.multi_hierarchy,
-                                   warmup_fraction=scale.warmup_fraction)
+    suite_spec = SuiteSpec(scale.hierarchy.llc_bytes, accesses)
+    engine = _engine(args)
     results = {}
     for policy in args.policies:
-        results[policy] = [runner.run_mix(m, policy_factory(policy))
-                           for m in mixes]
+        cells = [
+            MixCell(
+                suite=suite_spec,
+                mix_name=mix.name,
+                segment_names=tuple(s.name for s in mix.segments),
+                policy=policy,
+                hierarchy=scale.multi_hierarchy,
+                warmup_fraction=scale.warmup_fraction,
+            )
+            for mix in mixes
+        ]
+        results[policy] = engine.run(cells, label=f"mix/{policy}")
+        print(engine.last_report.summary())
     if "lru" not in results:
         print("note: add 'lru' to --policies for normalized speedups")
         for policy, mix_results in results.items():
@@ -154,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default=["lru", "mpppb-1a", "min"],
                          choices=policy_names(), metavar="POLICY")
     _add_scale(compare)
+    _add_exec(compare)
     compare.set_defaults(func=cmd_compare)
 
     roc = sub.add_parser("roc", help="predictor ROC accuracy (Fig. 1/8)")
@@ -167,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--steps", type=int, default=10)
     search.add_argument("--seed", type=int, default=2017)
     _add_scale(search)
+    _add_exec(search)
     search.set_defaults(func=cmd_search)
 
     mix = sub.add_parser("mix", help="4-core mixes (Fig. 4)")
@@ -175,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default=["lru", "mpppb-mp"],
                      choices=policy_names(), metavar="POLICY")
     _add_scale(mix)
+    _add_exec(mix)
     mix.set_defaults(func=cmd_mix)
     return parser
 

@@ -47,7 +47,7 @@ import random
 import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 from repro.cache.access import AccessContext
 from repro.util.hashing import hash_to

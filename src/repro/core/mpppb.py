@@ -21,8 +21,8 @@ baseline, no per-block dead bit exists: a dead prediction is recorded
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple, Union
 
 from repro.cache.access import AccessContext
 from repro.cache.replacement.base import ReplacementPolicy

@@ -23,7 +23,7 @@ outcome or its magnitude is below the training threshold theta.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.cache.access import AccessContext
 from repro.core.predictor import MultiperspectivePredictor

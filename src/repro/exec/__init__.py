@@ -1,0 +1,44 @@
+"""Experiment execution engine: parallel fan-out + on-disk result cache.
+
+See DESIGN.md section 8 ("Experiment execution engine") for the cache
+key schema and determinism guarantees.
+"""
+
+from repro.exec.cachekey import (
+    SCHEMA_VERSION,
+    canonical_json,
+    stable_hash,
+    task_seed,
+)
+from repro.exec.progress import CellOutcome, ExecReport
+from repro.exec.runner import (
+    MixCell,
+    ParallelRunner,
+    SearchCell,
+    SingleCell,
+    SuiteSpec,
+    TraceSpec,
+    default_store,
+    resolve_jobs,
+)
+from repro.exec.store import DEFAULT_CACHE_DIR, CacheStats, ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "stable_hash",
+    "task_seed",
+    "CellOutcome",
+    "ExecReport",
+    "MixCell",
+    "ParallelRunner",
+    "SearchCell",
+    "SingleCell",
+    "SuiteSpec",
+    "TraceSpec",
+    "default_store",
+    "resolve_jobs",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ResultStore",
+]

@@ -1,0 +1,87 @@
+"""Progress and timing instrumentation for experiment batches.
+
+Each :meth:`repro.exec.ParallelRunner.run` call produces an
+:class:`ExecReport`: per-cell wall time and cache status plus batch
+aggregates (hit rate, worker utilization).  ``summary()`` is a single
+line suitable for CLI output; ``table()`` matches the bench harness's
+fixed-width table style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+RULE = "-" * 78
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """How one cell was satisfied."""
+
+    label: str
+    key: str
+    cached: bool
+    seconds: float
+
+    @property
+    def status(self) -> str:
+        return "cached" if self.cached else "computed"
+
+
+@dataclass(frozen=True)
+class ExecReport:
+    """Aggregate timing/caching report for one batch of cells."""
+
+    outcomes: Tuple[CellOutcome, ...]
+    wall_seconds: float
+    jobs: int
+    label: str = ""
+
+    @property
+    def cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def misses(self) -> int:
+        return self.cells - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.cells if self.cells else 0.0
+
+    @property
+    def cell_seconds(self) -> float:
+        """Total compute time across cells (cache hits cost ~0)."""
+        return sum(outcome.seconds for outcome in self.outcomes)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool kept busy over the batch."""
+        budget = self.wall_seconds * max(1, self.jobs)
+        if budget <= 0.0:
+            return 0.0
+        return min(1.0, self.cell_seconds / budget)
+
+    def summary(self) -> str:
+        name = f"exec[{self.label}]" if self.label else "exec"
+        return (
+            f"{name}: {self.cells} cells  jobs={self.jobs}  "
+            f"hits={self.hits}/{self.cells} ({self.hit_rate:.0%})  "
+            f"wall={self.wall_seconds:.2f}s  work={self.cell_seconds:.2f}s  "
+            f"util={self.utilization:.0%}"
+        )
+
+    def table(self) -> str:
+        lines = [RULE, f"{'cell':48s} {'status':>10s} {'seconds':>10s}", RULE]
+        for outcome in self.outcomes:
+            lines.append(
+                f"{outcome.label[:48]:48s} {outcome.status:>10s} "
+                f"{outcome.seconds:10.3f}"
+            )
+        lines.append(RULE)
+        return "\n".join(lines)

@@ -1,0 +1,480 @@
+"""Parallel experiment engine: fan independent cells across processes.
+
+The unit of work is a *cell* — a self-describing, picklable recipe for
+one experiment whose result depends only on its fields:
+
+* :class:`SingleCell` — one (benchmark, policy) single-thread run,
+  producing a :class:`~repro.sim.single.BenchmarkResult`;
+* :class:`MixCell` — one (mix, policy) multi-programmed replay,
+  producing a :class:`~repro.sim.multi.MixResult`;
+* :class:`SearchCell` — one feature-set candidate evaluation,
+  producing its average MPKI (a float).
+
+Cells carry trace *recipes* (:class:`TraceSpec` / :class:`SuiteSpec`)
+rather than materialized traces: the synthetic workload generators are
+deterministic, so workers rebuild identical segments from a few
+integers instead of unpickling megabytes per task.  Worker processes
+memoize built segments and runners, so stage-1 (upper-level hierarchy)
+results are shared across the cells each worker executes — the same
+reuse the in-process runners perform today.
+
+:class:`ParallelRunner` consults the on-disk
+:class:`~repro.exec.store.ResultStore` before computing, fans cache
+misses across a ``ProcessPoolExecutor`` when ``jobs > 1``, and falls
+back to in-process serial execution (bit-identical: same entry points,
+same deterministic seeding) when ``jobs == 1``.  ``REPRO_JOBS`` and
+``REPRO_CACHE_DIR`` configure the defaults; ``REPRO_JOBS=0`` means one
+worker per CPU and ``REPRO_CACHE_DIR=off`` disables the disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Any,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.features import Feature
+from repro.core.mpppb import MPPPBConfig
+from repro.cpu.timing import TimingConfig
+from repro.exec.cachekey import (
+    SCHEMA_VERSION,
+    hierarchy_payload,
+    mpppb_payload,
+    policy_payload,
+    stable_hash,
+    task_seed,
+    timing_payload,
+)
+from repro.exec.progress import CellOutcome, ExecReport
+from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
+from repro.policies import policy_factory
+from repro.search.evaluator import FeatureSetEvaluator
+from repro.sim.hierarchy import HierarchyConfig
+from repro.sim.multi import MixResult, MultiProgrammedRunner
+from repro.sim.single import BenchmarkResult, SingleThreadRunner
+from repro.traces.mixes import Mix
+from repro.traces.trace import Segment
+from repro.traces.workloads import all_segments, build_segments
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (or any negative value) means "one worker per CPU".
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def default_store() -> Optional[ResultStore]:
+    """Store configured by ``REPRO_CACHE_DIR`` (default ``.repro-cache``)."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "")
+    if raw.lower() in DISABLED_SENTINELS:
+        return None
+    return ResultStore(raw or DEFAULT_CACHE_DIR)
+
+
+def _verbose_default() -> bool:
+    return os.environ.get("REPRO_EXEC_VERBOSE", "").lower() in ("1", "true", "yes")
+
+
+# -- trace recipes ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Deterministic recipe for one benchmark's weighted segments."""
+
+    benchmark: str
+    llc_bytes: int
+    accesses: int
+    seed: int = 2017
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "llc_bytes": self.llc_bytes,
+            "accesses": self.accesses,
+            "seed": self.seed,
+        }
+
+    def scope(self) -> Tuple[int, int, int]:
+        """Key for runner reuse: specs differing only by benchmark may
+        safely share a runner's per-segment caches (segment names embed
+        the benchmark name)."""
+        return (self.llc_bytes, self.accesses, self.seed)
+
+    def build(self) -> List[Segment]:
+        return build_segments(self.benchmark, self.llc_bytes, self.accesses,
+                              self.seed)
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Deterministic recipe for a multi-benchmark segment pool."""
+
+    llc_bytes: int
+    accesses: int
+    seed: int = 2017
+    names: Tuple[str, ...] = ()
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "llc_bytes": self.llc_bytes,
+            "accesses": self.accesses,
+            "seed": self.seed,
+            "names": sorted(self.names),
+        }
+
+    def trace_spec(self, benchmark: str) -> TraceSpec:
+        return TraceSpec(benchmark, self.llc_bytes, self.accesses, self.seed)
+
+    def build(self) -> List[Segment]:
+        """All segments, in :func:`all_segments` (sorted-suite) order."""
+        return all_segments(self.llc_bytes, self.accesses, self.seed,
+                            names=list(self.names))
+
+
+# -- per-worker-process memoization ---------------------------------------
+
+_SEGMENTS: Dict[TraceSpec, List[Segment]] = {}
+_RUNNERS: Dict[str, Any] = {}
+
+
+def _segments(spec: TraceSpec) -> List[Segment]:
+    cached = _SEGMENTS.get(spec)
+    if cached is None:
+        cached = spec.build()
+        _SEGMENTS[spec] = cached
+    return cached
+
+
+def _runner_key(kind: str, hierarchy: HierarchyConfig,
+                timing: Optional[TimingConfig], prefetch: bool,
+                warmup_fraction: float, scope: Any) -> str:
+    return stable_hash({
+        "kind": kind,
+        "hierarchy": hierarchy_payload(hierarchy),
+        "timing": timing_payload(timing),
+        "prefetch": prefetch,
+        "warmup_fraction": warmup_fraction,
+        "scope": scope,
+    })
+
+
+def _single_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
+                   prefetch: bool, warmup_fraction: float,
+                   scope: Any) -> SingleThreadRunner:
+    key = _runner_key("single", hierarchy, timing, prefetch, warmup_fraction,
+                      scope)
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        runner = SingleThreadRunner(hierarchy, timing=timing,
+                                    prefetch=prefetch,
+                                    warmup_fraction=warmup_fraction)
+        _RUNNERS[key] = runner
+    return runner
+
+
+def _multi_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
+                  prefetch: bool, warmup_fraction: float,
+                  scope: Any) -> MultiProgrammedRunner:
+    key = _runner_key("multi", hierarchy, timing, prefetch, warmup_fraction,
+                      scope)
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        runner = MultiProgrammedRunner(hierarchy, timing=timing,
+                                       prefetch=prefetch,
+                                       warmup_fraction=warmup_fraction)
+        _RUNNERS[key] = runner
+    return runner
+
+
+def _search_evaluator(suite: SuiteSpec, hierarchy: HierarchyConfig,
+                      base_config: Optional[MPPPBConfig], prefetch: bool,
+                      warmup_fraction: float) -> FeatureSetEvaluator:
+    scope = dict(suite.payload(),
+                 base=None if base_config is None else mpppb_payload(base_config))
+    key = _runner_key("evaluator", hierarchy, None, prefetch, warmup_fraction,
+                      scope)
+    evaluator = _RUNNERS.get(key)
+    if evaluator is None:
+        evaluator = FeatureSetEvaluator(
+            suite.build(), hierarchy, base_config=base_config,
+            warmup_fraction=warmup_fraction, prefetch=prefetch,
+        )
+        _RUNNERS[key] = evaluator
+    return evaluator
+
+
+# -- cells -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SingleCell:
+    """One single-thread (benchmark, policy) experiment."""
+
+    trace: TraceSpec
+    policy: str
+    hierarchy: HierarchyConfig
+    mpppb_config: Optional[MPPPBConfig] = None
+    timing: Optional[TimingConfig] = None
+    prefetch: bool = True
+    warmup_fraction: float = 0.25
+
+    kind: ClassVar[str] = "single"
+
+    def label(self) -> str:
+        return f"{self.trace.benchmark}/{self.policy}"
+
+    def key_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "trace": self.trace.payload(),
+            "hierarchy": hierarchy_payload(self.hierarchy),
+            "timing": timing_payload(self.timing),
+            "prefetch": self.prefetch,
+            "warmup_fraction": self.warmup_fraction,
+            "policy": policy_payload(self.policy, self.mpppb_config),
+        }
+
+    def run(self) -> BenchmarkResult:
+        runner = _single_runner(self.hierarchy, self.timing, self.prefetch,
+                                self.warmup_fraction, self.trace.scope())
+        return runner.run_benchmark(
+            self.trace.benchmark, _segments(self.trace),
+            policy_factory(self.policy, self.mpppb_config),
+        )
+
+    def encode(self, result: BenchmarkResult) -> Dict[str, Any]:
+        return result.to_dict()
+
+    def decode(self, payload: Dict[str, Any]) -> BenchmarkResult:
+        return BenchmarkResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class MixCell:
+    """One multi-programmed (mix, policy) experiment."""
+
+    suite: SuiteSpec
+    mix_name: str
+    segment_names: Tuple[str, ...]
+    policy: str
+    hierarchy: HierarchyConfig
+    mpppb_config: Optional[MPPPBConfig] = None
+    timing: Optional[TimingConfig] = None
+    prefetch: bool = True
+    warmup_fraction: float = 0.25
+
+    kind: ClassVar[str] = "mix"
+
+    def label(self) -> str:
+        return f"{self.mix_name}/{self.policy}"
+
+    def key_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "suite": self.suite.payload(),
+            "segments": list(self.segment_names),
+            "hierarchy": hierarchy_payload(self.hierarchy),
+            "timing": timing_payload(self.timing),
+            "prefetch": self.prefetch,
+            "warmup_fraction": self.warmup_fraction,
+            "policy": policy_payload(self.policy, self.mpppb_config),
+        }
+
+    def _mix(self) -> Mix:
+        chosen: List[Segment] = []
+        for name in self.segment_names:
+            benchmark = name.split(".", 1)[0]
+            by_name = {
+                segment.name: segment
+                for segment in _segments(self.suite.trace_spec(benchmark))
+            }
+            try:
+                chosen.append(by_name[name])
+            except KeyError:
+                raise KeyError(
+                    f"segment {name!r} not found in benchmark {benchmark!r}"
+                ) from None
+        return Mix(self.mix_name, tuple(chosen))
+
+    def run(self) -> MixResult:
+        runner = _multi_runner(self.hierarchy, self.timing, self.prefetch,
+                               self.warmup_fraction, self.suite.payload())
+        return runner.run_mix(
+            self._mix(), policy_factory(self.policy, self.mpppb_config)
+        )
+
+    def encode(self, result: MixResult) -> Dict[str, Any]:
+        return result.to_dict()
+
+    def decode(self, payload: Dict[str, Any]) -> MixResult:
+        return MixResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class SearchCell:
+    """One feature-search candidate: average MPKI over a segment pool."""
+
+    suite: SuiteSpec
+    features: Tuple[Feature, ...]
+    hierarchy: HierarchyConfig
+    base_config: Optional[MPPPBConfig] = None
+    prefetch: bool = True
+    warmup_fraction: float = 0.25
+
+    kind: ClassVar[str] = "search"
+
+    def label(self) -> str:
+        digest = stable_hash({"f": [f.spec() for f in self.features]})
+        return f"search/{len(self.features)}f/{digest[:8]}"
+
+    def key_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "suite": self.suite.payload(),
+            "features": [feature.spec() for feature in self.features],
+            "base": (None if self.base_config is None
+                     else mpppb_payload(self.base_config)),
+            "hierarchy": hierarchy_payload(self.hierarchy),
+            "prefetch": self.prefetch,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    def run(self) -> float:
+        evaluator = _search_evaluator(self.suite, self.hierarchy,
+                                      self.base_config, self.prefetch,
+                                      self.warmup_fraction)
+        return evaluator.evaluate(self.features)
+
+    def encode(self, result: float) -> float:
+        return result
+
+    def decode(self, payload: float) -> float:
+        return float(payload)
+
+
+Cell = Union[SingleCell, MixCell, SearchCell]
+
+
+def _execute_cell(cell: Cell, key: str) -> Tuple[Any, float]:
+    """Run one cell with deterministic seeding; returns (result, seconds)."""
+    random.seed(task_seed(key))
+    started = time.perf_counter()
+    result = cell.run()
+    return result, time.perf_counter() - started
+
+
+_AUTO_STORE = object()
+
+
+class ParallelRunner:
+    """Cache-aware fan-out executor for experiment cells.
+
+    With ``jobs == 1`` (the default) cache misses run serially in the
+    current process through exactly the same entry points the workers
+    use, so serial and parallel execution are bit-identical.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, store: Any = _AUTO_STORE,
+                 verbose: Optional[bool] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.store: Optional[ResultStore] = (
+            default_store() if store is _AUTO_STORE else store
+        )
+        self.verbose = _verbose_default() if verbose is None else verbose
+        self.last_report: Optional[ExecReport] = None
+
+    @classmethod
+    def from_options(cls, jobs: Optional[int] = None,
+                     cache_dir: str = "") -> "ParallelRunner":
+        """Build from CLI-style options (``--jobs`` / ``--cache-dir``).
+
+        An empty ``cache_dir`` defers to ``REPRO_CACHE_DIR``; the
+        sentinel values ``off`` / ``none`` / ``0`` disable caching.
+        """
+        if cache_dir and cache_dir.lower() in DISABLED_SENTINELS:
+            store: Optional[ResultStore] = None
+        elif cache_dir:
+            store = ResultStore(cache_dir)
+        else:
+            store = default_store()
+        return cls(jobs=jobs, store=store)
+
+    def run(self, cells: Sequence[Cell], label: str = "") -> List[Any]:
+        """Resolve every cell (cache or compute); results in cell order."""
+        started = time.perf_counter()
+        results: List[Any] = [None] * len(cells)
+        outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        pending: List[Tuple[int, str, Cell]] = []
+
+        for index, cell in enumerate(cells):
+            key = stable_hash(cell.key_payload())
+            payload = self.store.get(key) if self.store is not None else None
+            if payload is not None and payload.get("kind") == cell.kind:
+                results[index] = cell.decode(payload["result"])
+                outcomes[index] = CellOutcome(cell.label(), key, True, 0.0)
+            else:
+                pending.append((index, key, cell))
+
+        workers = min(self.jobs, len(pending))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, cell, key): (index, key, cell)
+                    for index, key, cell in pending
+                }
+                for future in as_completed(futures):
+                    index, key, cell = futures[future]
+                    result, seconds = future.result()
+                    self._record(cell, key, result, seconds, index,
+                                 results, outcomes)
+        else:
+            for index, key, cell in pending:
+                result, seconds = _execute_cell(cell, key)
+                self._record(cell, key, result, seconds, index,
+                             results, outcomes)
+
+        self.last_report = ExecReport(
+            outcomes=tuple(outcome for outcome in outcomes
+                           if outcome is not None),
+            wall_seconds=time.perf_counter() - started,
+            jobs=self.jobs,
+            label=label,
+        )
+        if self.verbose:
+            print(self.last_report.table())
+        return results
+
+    def _record(self, cell: Cell, key: str, result: Any, seconds: float,
+                index: int, results: List[Any],
+                outcomes: List[Optional[CellOutcome]]) -> None:
+        results[index] = result
+        outcomes[index] = CellOutcome(cell.label(), key, False, seconds)
+        if self.store is not None:
+            self.store.put(key, {"kind": cell.kind,
+                                 "result": cell.encode(result)})

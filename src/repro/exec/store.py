@@ -1,0 +1,141 @@
+"""Content-addressed on-disk result cache.
+
+Blobs are JSON files stored under ``<root>/<key[:2]>/<key>.json`` where
+``key`` is the cell's stable hash (:mod:`repro.exec.cachekey`).  Each
+blob records the schema version and the cell kind alongside the
+serialized result, so stale or foreign blobs are treated as misses
+rather than deserialized incorrectly.
+
+The store is safe for concurrent writers (atomic ``os.replace`` of a
+temp file) and keeps simple LRU semantics: ``get`` touches the blob's
+mtime and eviction removes the oldest blobs once ``max_entries`` is
+exceeded.  Hit/miss/store/evict counters feed the execution report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exec.cachekey import SCHEMA_VERSION
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: ``REPRO_CACHE_DIR`` values that disable on-disk caching entirely.
+DISABLED_SENTINELS = ("off", "none", "0")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one store over one process lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """JSON blob store keyed by content hash, with LRU eviction."""
+
+    def __init__(self, root, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._count: Optional[int] = None  # lazily measured blob count
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _blobs(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self._blobs())
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored payload for ``key``, or ``None`` on miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` (stamped with the schema)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = dict(payload)
+        blob["schema"] = SCHEMA_VERSION
+        existed = path.exists()
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(blob, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        if self._count is None:
+            self._count = len(self._blobs())
+        elif not existed:
+            self._count += 1
+        if self._count > self.max_entries:
+            self._evict()
+
+    def _evict(self) -> None:
+        """Drop oldest blobs until back under ``max_entries``."""
+        blobs = self._blobs()
+        blobs.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        excess = len(blobs) - self.max_entries
+        for path in blobs[:max(0, excess)]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+        self._count = len(blobs) - max(0, excess)
+
+    def clear(self) -> int:
+        """Remove every blob; returns the number removed."""
+        removed = 0
+        for path in self._blobs():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._count = 0
+        return removed

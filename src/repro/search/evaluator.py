@@ -5,17 +5,29 @@ feature sets "with a fast simulator that only measures average MPKI".
 Our equivalent replays the cached, policy-invariant LLC streams of a
 workload list under an MPPPB instance built from the candidate
 features and averages the resulting MPKI.
+
+Candidate evaluations are independent of each other, which makes them
+ideal fan-out targets for the ``repro.exec`` engine: attach a
+:class:`~repro.exec.ParallelRunner` (``executor``) plus the
+:class:`~repro.exec.SuiteSpec` the segments were built from (``spec``,
+or use :meth:`FeatureSetEvaluator.from_spec`) and batched calls through
+:meth:`FeatureSetEvaluator.evaluate_many` run in worker processes and
+land in the on-disk result cache.  Without an executor the evaluator
+behaves exactly as before: serial, in-process, memoized in memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.features import Feature
 from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
 from repro.sim.hierarchy import HierarchyConfig
 from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.runner import ParallelRunner, SuiteSpec
 
 
 class FeatureSetEvaluator:
@@ -28,28 +40,54 @@ class FeatureSetEvaluator:
         base_config: Optional[MPPPBConfig] = None,
         warmup_fraction: float = 0.25,
         prefetch: bool = True,
+        executor: Optional["ParallelRunner"] = None,
+        spec: Optional["SuiteSpec"] = None,
     ) -> None:
         if not segments:
             raise ValueError("evaluator needs at least one segment")
         self.segments = list(segments)
+        self.hierarchy = hierarchy
         self.base_config = base_config
+        self.warmup_fraction = warmup_fraction
+        self.prefetch = prefetch
         self.runner = SingleThreadRunner(
             hierarchy, prefetch=prefetch, warmup_fraction=warmup_fraction
         )
+        self.executor = executor
+        self.spec = spec
         self.evaluations = 0
         self._cache: Dict[tuple, float] = {}
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "SuiteSpec",
+        hierarchy: HierarchyConfig,
+        base_config: Optional[MPPPBConfig] = None,
+        warmup_fraction: float = 0.25,
+        prefetch: bool = True,
+        executor: Optional["ParallelRunner"] = None,
+    ) -> "FeatureSetEvaluator":
+        """Build from a deterministic segment recipe so evaluations can
+        be fanned out to worker processes (which rebuild identical
+        segments from the spec) and cached on disk."""
+        return cls(
+            spec.build(),
+            hierarchy,
+            base_config=base_config,
+            warmup_fraction=warmup_fraction,
+            prefetch=prefetch,
+            executor=executor,
+            spec=spec,
+        )
 
     def _config(self, features: Sequence[Feature]) -> MPPPBConfig:
         if self.base_config is not None:
             return self.base_config.with_features(features)
         return MPPPBConfig(features=tuple(features))
 
-    def evaluate(self, features: Sequence[Feature]) -> float:
-        """Average demand MPKI of MPPPB built on ``features``."""
-        key = tuple(features)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    def _evaluate_local(self, features: Tuple[Feature, ...]) -> float:
+        """Serial in-process evaluation (the pre-engine code path)."""
         config = self._config(features)
 
         def factory(num_sets: int, ways: int) -> MPPPBPolicy:
@@ -58,10 +96,61 @@ class FeatureSetEvaluator:
         total = 0.0
         for segment in self.segments:
             total += self.runner.run_segment(segment, factory).mpki
+        return total / len(self.segments)
+
+    def evaluate(self, features: Sequence[Feature]) -> float:
+        """Average demand MPKI of MPPPB built on ``features``."""
+        key = tuple(features)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.executor is not None and self.spec is not None:
+            return self.evaluate_many([key])[0]
+        self._cache[key] = mean = self._evaluate_local(key)
         self.evaluations += 1
-        mean = total / len(self.segments)
-        self._cache[key] = mean
         return mean
+
+    def evaluate_many(
+        self, feature_sets: Sequence[Sequence[Feature]]
+    ) -> List[float]:
+        """Evaluate a batch of candidate sets; results in input order.
+
+        With an attached executor (and a spec describing the segments),
+        uncached candidates are fanned across worker processes and the
+        on-disk result cache; otherwise this is a serial loop over
+        :meth:`evaluate`.
+        """
+        keys = [tuple(features) for features in feature_sets]
+        unique_pending: List[Tuple[Feature, ...]] = []
+        seen = set()
+        for key in keys:
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                unique_pending.append(key)
+
+        if unique_pending and self.executor is not None and self.spec is not None:
+            from repro.exec.runner import SearchCell
+
+            cells = [
+                SearchCell(
+                    suite=self.spec,
+                    features=features,
+                    hierarchy=self.hierarchy,
+                    base_config=self.base_config,
+                    prefetch=self.prefetch,
+                    warmup_fraction=self.warmup_fraction,
+                )
+                for features in unique_pending
+            ]
+            values = self.executor.run(cells, label="search")
+            for features, value in zip(unique_pending, values):
+                self._cache[features] = value
+                self.evaluations += 1
+        else:
+            for features in unique_pending:
+                self.evaluate(features)
+
+        return [self._cache[key] for key in keys]
 
     def baseline_mpki(self, policy_factory) -> float:
         """Average MPKI of an arbitrary policy (for LRU/MIN reference lines)."""

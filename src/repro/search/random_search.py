@@ -35,10 +35,16 @@ def random_search(
     if num_sets < 1:
         raise ValueError("num_sets must be positive")
     rng = random.Random(seed)
-    candidates = []
-    for _ in range(num_sets):
-        features = random_feature_set(rng, set_size)
-        candidates.append(SearchCandidate(features, evaluator.evaluate(features)))
+    # Draw the whole population first (same RNG stream as evaluating
+    # inline, since evaluation is deterministic), then evaluate as one
+    # batch so an attached repro.exec engine can fan candidates out
+    # across worker processes.
+    feature_sets = [random_feature_set(rng, set_size) for _ in range(num_sets)]
+    values = evaluator.evaluate_many(feature_sets)
+    candidates = [
+        SearchCandidate(features, value)
+        for features, value in zip(feature_sets, values)
+    ]
     candidates.sort(key=lambda c: c.mpki)
     return candidates
 

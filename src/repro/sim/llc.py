@@ -11,8 +11,8 @@ policy comparisons cheap and exactly aligned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.cache.access import AccessContext
 from repro.cache.cache import SetAssociativeCache

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.lru import LRUPolicy
@@ -64,6 +64,30 @@ class MixResult:
     def weighted_speedup(self) -> float:
         """Raw weighted speedup (before LRU normalization)."""
         return sum(i / s for i, s in zip(self.ipcs, self.single_ipcs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for the on-disk result cache (``repro.exec``)."""
+        return {
+            "mix_name": self.mix_name,
+            "thread_names": list(self.thread_names),
+            "ipcs": list(self.ipcs),
+            "single_ipcs": list(self.single_ipcs),
+            "mpki": self.mpki,
+            "llc_misses": self.llc_misses,
+            "llc_bypasses": self.llc_bypasses,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "MixResult":
+        return MixResult(
+            mix_name=payload["mix_name"],
+            thread_names=tuple(payload["thread_names"]),
+            ipcs=tuple(payload["ipcs"]),
+            single_ipcs=tuple(payload["single_ipcs"]),
+            mpki=payload["mpki"],
+            llc_misses=payload["llc_misses"],
+            llc_bypasses=payload["llc_bypasses"],
+        )
 
 
 class MultiProgrammedRunner:

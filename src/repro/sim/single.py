@@ -14,8 +14,8 @@ relative to LRU and summarized by geometric mean.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cpu.timing import TimingConfig, TimingModel
@@ -48,6 +48,14 @@ class SegmentResult:
     demand_misses: int
     instructions: int
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for the on-disk result cache (``repro.exec``)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "SegmentResult":
+        return SegmentResult(**payload)
+
 
 @dataclass(frozen=True)
 class BenchmarkResult:
@@ -65,6 +73,21 @@ class BenchmarkResult:
     def mpki(self) -> float:
         total_weight = sum(s.weight for s in self.segments)
         return sum(s.mpki * s.weight for s in self.segments) / total_weight
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for the on-disk result cache (``repro.exec``)."""
+        return {
+            "benchmark": self.benchmark,
+            "segments": [segment.to_dict() for segment in self.segments],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "BenchmarkResult":
+        return BenchmarkResult(
+            benchmark=payload["benchmark"],
+            segments=tuple(SegmentResult.from_dict(segment)
+                           for segment in payload["segments"]),
+        )
 
 
 def demand_load_events(

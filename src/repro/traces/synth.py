@@ -28,7 +28,7 @@ are handled by :func:`compose` and :class:`PhaseSpec`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Sequence, Tuple
 
 AccessTuple = Tuple[int, int, bool, int]

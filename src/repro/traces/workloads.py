@@ -19,7 +19,6 @@ multiperspective features discriminate.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cache.access import AccessContext
 from repro.cache.replacement.lru import LRUPolicy
-from repro.core.features import BiasFeature, parse_feature_set
+from repro.core.features import BiasFeature
 from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
 from repro.core.presets import (
     TABLE_1A_SPECS,

@@ -1,0 +1,193 @@
+"""Tests for the parallel experiment engine (``repro.exec``).
+
+Covers the tentpole guarantees: parallel results equal serial results
+cell-for-cell, the serial path equals the direct (pre-engine) runner
+entry points, and warm-cache invocations return identical results
+while reporting hits.
+"""
+
+import pytest
+
+from repro.config import TINY
+from repro.core.presets import single_thread_config, table_1b_features
+from repro.exec import (
+    MixCell,
+    ParallelRunner,
+    SearchCell,
+    SingleCell,
+    SuiteSpec,
+    TraceSpec,
+    resolve_jobs,
+)
+from repro.policies import policy_factory
+from repro.search.evaluator import FeatureSetEvaluator
+from repro.sim.multi import MultiProgrammedRunner
+from repro.sim.single import SingleThreadRunner
+from repro.traces.mixes import generate_mixes
+from repro.traces.workloads import build_segments, build_suite
+
+ACCESSES = 2_500
+BENCHMARKS = ("gamess", "soplex")
+POLICIES = ("lru", "mpppb-1a")
+
+
+def _single_cells():
+    return [
+        SingleCell(
+            trace=TraceSpec(name, TINY.hierarchy.llc_bytes, ACCESSES),
+            policy=policy,
+            hierarchy=TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        for policy in POLICIES
+        for name in BENCHMARKS
+    ]
+
+
+def _mix_cells():
+    suite_spec = SuiteSpec(TINY.hierarchy.llc_bytes, ACCESSES)
+    suite = build_suite(TINY.hierarchy.llc_bytes, ACCESSES)
+    segments = [s for name in sorted(suite) for s in suite[name]]
+    mixes = generate_mixes(segments, 2)
+    return [
+        MixCell(
+            suite=suite_spec,
+            mix_name=mix.name,
+            segment_names=tuple(s.name for s in mix.segments),
+            policy="lru",
+            hierarchy=TINY.multi_hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        for mix in mixes
+    ], mixes
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestSingleCells:
+    @pytest.fixture(scope="class")
+    def serial_results(self):
+        runner = ParallelRunner(jobs=1, store=None)
+        return runner.run(_single_cells())
+
+    def test_serial_matches_direct_runner(self, serial_results):
+        runner = SingleThreadRunner(TINY.hierarchy,
+                                    warmup_fraction=TINY.warmup_fraction)
+        index = 0
+        for policy in POLICIES:
+            for name in BENCHMARKS:
+                segments = build_segments(name, TINY.hierarchy.llc_bytes,
+                                          ACCESSES)
+                direct = runner.run_benchmark(name, segments,
+                                              policy_factory(policy))
+                assert serial_results[index] == direct
+                index += 1
+
+    def test_parallel_equals_serial_cell_for_cell(self, serial_results):
+        parallel = ParallelRunner(jobs=2, store=None).run(_single_cells())
+        assert parallel == serial_results
+
+    def test_warm_cache_hits_and_identical_results(self, serial_results,
+                                                   tmp_path_factory):
+        from repro.exec import ResultStore
+
+        root = tmp_path_factory.mktemp("cache")
+        cold = ParallelRunner(jobs=1, store=ResultStore(root))
+        first = cold.run(_single_cells())
+        assert cold.last_report.misses == len(first)
+        warm = ParallelRunner(jobs=1, store=ResultStore(root))
+        second = warm.run(_single_cells())
+        assert warm.last_report.hits == len(second)
+        assert warm.last_report.misses == 0
+        assert second == first == serial_results
+
+
+class TestMixCells:
+    def test_parallel_equals_serial_equals_direct(self):
+        cells, mixes = _mix_cells()
+        serial = ParallelRunner(jobs=1, store=None).run(cells)
+        parallel = ParallelRunner(jobs=2, store=None).run(cells)
+        assert parallel == serial
+
+        runner = MultiProgrammedRunner(TINY.multi_hierarchy,
+                                       warmup_fraction=TINY.warmup_fraction)
+        direct = [runner.run_mix(mix, policy_factory("lru")) for mix in mixes]
+        assert serial == direct
+
+    def test_mix_cache_round_trip(self, tmp_path):
+        from repro.exec import ResultStore
+
+        cells, _ = _mix_cells()
+        store = ResultStore(tmp_path)
+        first = ParallelRunner(jobs=1, store=store).run(cells)
+        second = ParallelRunner(jobs=1, store=store).run(cells)
+        assert second == first
+        assert store.stats.hits == len(cells)
+
+
+class TestSearchCells:
+    SPEC = SuiteSpec(TINY.hierarchy.llc_bytes, 2_000, names=("gamess",))
+
+    def test_engine_evaluation_matches_plain_evaluator(self):
+        features = (single_thread_config("a").features,
+                    table_1b_features())
+        plain = FeatureSetEvaluator.from_spec(self.SPEC, TINY.hierarchy,
+                                              warmup_fraction=TINY.warmup_fraction)
+        expected = [plain.evaluate(fs) for fs in features]
+
+        engine = ParallelRunner(jobs=2, store=None)
+        fanned = FeatureSetEvaluator.from_spec(
+            self.SPEC, TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction, executor=engine,
+        )
+        assert fanned.evaluate_many(features) == expected
+        # In-memory memoization still works on top of the engine.
+        evaluations = fanned.evaluations
+        assert fanned.evaluate_many(features) == expected
+        assert fanned.evaluations == evaluations
+
+    def test_search_cell_runs_standalone(self):
+        cell = SearchCell(
+            suite=self.SPEC,
+            features=table_1b_features(),
+            hierarchy=TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        [value] = ParallelRunner(jobs=1, store=None).run([cell])
+        assert value > 0
+
+    def test_evaluate_many_dedups_duplicates(self):
+        plain = FeatureSetEvaluator.from_spec(self.SPEC, TINY.hierarchy,
+                                              warmup_fraction=TINY.warmup_fraction)
+        features = table_1b_features()
+        values = plain.evaluate_many([features, features])
+        assert values[0] == values[1]
+        assert plain.evaluations == 1
+
+
+class TestReport:
+    def test_report_shape(self):
+        runner = ParallelRunner(jobs=1, store=None)
+        cells = _single_cells()[:1]
+        runner.run(cells, label="unit")
+        report = runner.last_report
+        assert report.cells == 1
+        assert report.misses == 1
+        assert report.jobs == 1
+        assert "unit" in report.summary()
+        assert "computed" in report.table()

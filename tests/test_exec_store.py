@@ -1,0 +1,168 @@
+"""Tests for the on-disk result store and cache-key hashing."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import TINY
+from repro.core.mpppb import MPPPBConfig
+from repro.core.presets import table_1a_features
+from repro.cpu.timing import TimingConfig
+from repro.exec import (
+    SCHEMA_VERSION,
+    ResultStore,
+    SingleCell,
+    TraceSpec,
+    canonical_json,
+    stable_hash,
+    task_seed,
+)
+from repro.sim.multi import MixResult
+from repro.sim.single import BenchmarkResult, SegmentResult
+
+
+def _benchmark_result() -> BenchmarkResult:
+    segments = tuple(
+        SegmentResult(
+            segment_name=f"b.s{i}", weight=0.5 + i, ipc=1.25 + i * 0.125,
+            mpki=3.7, llc_accesses=1000 + i, llc_hits=700, llc_misses=300,
+            llc_bypasses=17, demand_misses=290, instructions=40_000,
+        )
+        for i in range(3)
+    )
+    return BenchmarkResult(benchmark="b", segments=segments)
+
+
+def _mix_result() -> MixResult:
+    return MixResult(
+        mix_name="mix0001",
+        thread_names=("a.s0", "b.s0", "c.s1", "d.s0"),
+        ipcs=(1.1, 0.9, 1.300000000000001, 0.75),
+        single_ipcs=(1.2, 1.0, 1.5, 0.8),
+        mpki=4.25,
+        llc_misses=1234,
+        llc_bypasses=56,
+    )
+
+
+class TestResultSerde:
+    def test_benchmark_result_round_trip_through_json(self):
+        result = _benchmark_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert BenchmarkResult.from_dict(payload) == result
+
+    def test_mix_result_round_trip_through_json(self):
+        result = _mix_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = MixResult.from_dict(payload)
+        assert restored == result
+        assert restored.weighted_speedup == result.weighted_speedup
+
+
+class TestStableHash:
+    def test_key_order_independent(self):
+        assert stable_hash({"a": 1, "b": [2, 3]}) == stable_hash({"b": [2, 3], "a": 1})
+
+    def test_canonical_json_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_task_seed_is_32_bit(self):
+        seed = task_seed(stable_hash({"x": 1}))
+        assert 0 <= seed < 2**32
+
+    def _cell(self, **overrides):
+        defaults = dict(
+            trace=TraceSpec("soplex", TINY.hierarchy.llc_bytes, 4_000),
+            policy="mpppb",
+            hierarchy=TINY.hierarchy,
+            mpppb_config=MPPPBConfig(features=table_1a_features()),
+            warmup_fraction=0.25,
+        )
+        defaults.update(overrides)
+        return SingleCell(**defaults)
+
+    def test_key_stable_for_equal_cells(self):
+        assert stable_hash(self._cell().key_payload()) == \
+            stable_hash(self._cell().key_payload())
+
+    def test_key_changes_with_hierarchy(self):
+        other = self._cell(hierarchy=TINY.multi_hierarchy)
+        assert stable_hash(self._cell().key_payload()) != \
+            stable_hash(other.key_payload())
+
+    def test_key_changes_with_timing(self):
+        other = self._cell(timing=TimingConfig(dram_latency=321))
+        assert stable_hash(self._cell().key_payload()) != \
+            stable_hash(other.key_payload())
+
+    def test_key_changes_with_policy_config(self):
+        config = MPPPBConfig(features=table_1a_features(), taus=(71, 30, 0))
+        other = self._cell(mpppb_config=config)
+        assert stable_hash(self._cell().key_payload()) != \
+            stable_hash(other.key_payload())
+
+    def test_key_changes_with_trace_spec(self):
+        other = self._cell(
+            trace=TraceSpec("soplex", TINY.hierarchy.llc_bytes, 4_001))
+        assert stable_hash(self._cell().key_payload()) != \
+            stable_hash(other.key_payload())
+
+    def test_key_changes_with_warmup(self):
+        other = self._cell(warmup_fraction=0.3)
+        assert stable_hash(self._cell().key_payload()) != \
+            stable_hash(other.key_payload())
+
+
+class TestResultStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = stable_hash({"cell": 1})
+        assert store.get(key) is None
+        store.put(key, {"kind": "single", "result": {"x": 1.5}})
+        payload = store.get(key)
+        assert payload["result"] == {"x": 1.5}
+        assert payload["kind"] == "single"
+        assert payload["schema"] == SCHEMA_VERSION
+        assert (store.stats.hits, store.stats.misses, store.stats.stores) == (1, 1, 1)
+
+    def test_persists_across_instances(self, tmp_path):
+        root = tmp_path / "cache"
+        ResultStore(root).put("ab" * 32, {"kind": "mix", "result": [1, 2]})
+        fresh = ResultStore(root)
+        assert fresh.get("ab" * 32)["result"] == [1, 2]
+        assert fresh.stats.hits == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        store.put(key, {"kind": "single", "result": 1})
+        path = store._path(key)
+        blob = json.loads(path.read_text())
+        blob["schema"] = SCHEMA_VERSION - 1
+        path.write_text(json.dumps(blob))
+        assert store.get(key) is None
+
+    def test_corrupt_blob_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" * 32
+        store.put(key, {"kind": "single", "result": 1})
+        store._path(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_eviction_drops_oldest(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        keys = [f"{i:02d}" + "a" * 62 for i in range(3)]
+        for age, key in enumerate(keys):
+            store.put(key, {"kind": "single", "result": age})
+            # Force distinct, ordered mtimes so LRU order is deterministic.
+            os.utime(store._path(key), (1_000_000 + age, 1_000_000 + age))
+        store.put("ff" + "a" * 62, {"kind": "single", "result": 99})
+        assert store.get(keys[0]) is None          # oldest evicted
+        assert store.get(keys[2])["result"] == 2   # newer survives
+        assert store.stats.evictions >= 1
+        assert len(store) <= 2 + 1  # cap plus the blob that triggered eviction
+
+    def test_rejects_nonpositive_max_entries(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_entries=0)

@@ -1,7 +1,5 @@
 """Edge-case tests for the multi-programmed interleaver."""
 
-import pytest
-
 from repro.policies import policy_factory
 from repro.sim.hierarchy import HierarchyConfig
 from repro.sim.multi import MultiProgrammedRunner

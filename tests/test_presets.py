@@ -1,7 +1,5 @@
 """Tests for the published feature-set presets and tuned configs."""
 
-import pytest
-
 from repro.core.features import (
     AddressFeature,
     BiasFeature,
@@ -11,7 +9,6 @@ from repro.core.features import (
 from repro.core.presets import (
     TABLE_1A_SPECS,
     TABLE_1B_SPECS,
-    TABLE_2_SPECS,
     multi_core_tuned_config,
     multi_programmed_config,
     single_thread_config,

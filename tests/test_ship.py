@@ -1,7 +1,5 @@
 """Tests for the SHiP extension baseline."""
 
-import pytest
-
 from repro.cache.access import AccessContext
 from repro.cache.replacement.lru import LRUPolicy
 from repro.predictors.ship import SHCT, SHiPPolicy

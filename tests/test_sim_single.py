@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import get_scale
-from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.core.mpppb import MPPPBPolicy
 from repro.policies import make_policy, policy_factory, policy_names
 from repro.sim.hierarchy import HierarchyConfig
 from repro.sim.single import (
