@@ -18,9 +18,14 @@ PREFETCH_PC = 0x0BADC0DE
 """The "fake PC" carried by hardware prefetches (Section 3.2, pc feature)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessContext:
-    """One LLC access with everything a reuse predictor may inspect."""
+    """One LLC access with everything a reuse predictor may inspect.
+
+    Slotted: one context object is reused across an entire LLC replay
+    with every field rewritten per access, so attribute access speed
+    (and the absence of a per-instance ``__dict__``) matters.
+    """
 
     pc: int
     address: int

@@ -76,7 +76,7 @@ class SetAssociativeCache:
     live in policy objects; this class only stores and looks up.
     """
 
-    __slots__ = ("num_sets", "ways", "tags", "valid")
+    __slots__ = ("num_sets", "ways", "tags", "valid", "_where")
 
     def __init__(self, capacity_bytes: int, ways: int, block_bytes: int = 64) -> None:
         if capacity_bytes % (ways * block_bytes) != 0:
@@ -87,18 +87,18 @@ class SetAssociativeCache:
         self.ways = ways
         self.tags: List[List[int]] = [[-1] * ways for _ in range(self.num_sets)]
         self.valid: List[List[bool]] = [[False] * ways for _ in range(self.num_sets)]
+        # Per-set tag -> way index: lookup is the single hottest cache
+        # operation of a stage-2 replay, and a dict probe is O(1) where
+        # the way scan was O(associativity).  tags/valid remain the
+        # source of truth for introspection; the index mirrors them.
+        self._where: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
 
     def set_index(self, block: int) -> int:
         return block & (self.num_sets - 1)
 
     def lookup(self, set_idx: int, block: int) -> int:
         """Return the way holding ``block`` in ``set_idx``, or -1."""
-        tags = self.tags[set_idx]
-        valid = self.valid[set_idx]
-        for way in range(self.ways):
-            if valid[way] and tags[way] == block:
-                return way
-        return -1
+        return self._where[set_idx].get(block, -1)
 
     def invalid_way(self, set_idx: int) -> int:
         """Return the lowest invalid way in ``set_idx``, or -1 if full."""
@@ -110,12 +110,21 @@ class SetAssociativeCache:
 
     def install(self, set_idx: int, way: int, block: int) -> Optional[int]:
         """Place ``block`` in ``way``; return the evicted tag, if any."""
+        where = self._where[set_idx]
         evicted = self.tags[set_idx][way] if self.valid[set_idx][way] else None
+        if evicted is not None and where.get(evicted) == way:
+            del where[evicted]
         self.tags[set_idx][way] = block
         self.valid[set_idx][way] = True
+        where[block] = way
         return evicted
 
     def invalidate(self, set_idx: int, way: int) -> None:
+        if self.valid[set_idx][way]:
+            where = self._where[set_idx]
+            tag = self.tags[set_idx][way]
+            if where.get(tag) == way:
+                del where[tag]
         self.valid[set_idx][way] = False
         self.tags[set_idx][way] = -1
 

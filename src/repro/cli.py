@@ -185,6 +185,35 @@ def cmd_mix(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_POLICIES,
+        build_report,
+        check_report,
+        format_report,
+        write_report,
+    )
+
+    policies = tuple(args.policies) if args.policies else DEFAULT_POLICIES
+    report = build_report(
+        scale_name=args.scale,
+        benchmark=args.benchmark,
+        benchmarks=tuple(args.compare_benchmarks),
+        policies=policies,
+        repeats=args.repeats,
+    )
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {path}")
+    if args.check:
+        failures = check_report(report, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +253,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(mix)
     _add_exec(mix)
     mix.set_defaults(func=cmd_mix)
+
+    perf = sub.add_parser("perf", help="hot-path timings (BENCH_hotpath.json)")
+    perf.add_argument("--benchmark", default="soplex",
+                      choices=benchmark_names(),
+                      help="workload for the per-stage micro-benchmarks")
+    perf.add_argument("--compare-benchmarks", nargs="*",
+                      default=["gamess", "hmmer", "povray"], metavar="NAME",
+                      help="workloads for the cold/warm compare")
+    perf.add_argument("--policies", nargs="*", default=None,
+                      choices=policy_names(), metavar="POLICY")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="best-of-N repetitions per timing")
+    perf.add_argument("--output", default="BENCH_hotpath.json",
+                      metavar="PATH")
+    perf.add_argument("--check", action="store_true",
+                      help="exit 1 if the fused pipeline is slower than "
+                           "the legacy path")
+    perf.add_argument("--tolerance", type=float, default=1.0,
+                      help="allowed fused/legacy ratio for --check")
+    _add_scale(perf)
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 

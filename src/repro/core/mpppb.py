@@ -110,13 +110,18 @@ class MPPPBPolicy(ReplacementPolicy):
         self._confidence = 0
         self.bypasses = 0
         self.promotions_suppressed = 0
+        # Bound-method caches for the per-access path: on_access runs
+        # once per LLC access and these three lookups dominate it.
+        self._indices = self.predictor.indices
+        self._predict = self.predictor.predict
+        self._observe = self.sampler.observe
 
     # -- prediction plumbing ----------------------------------------------
 
     def on_access(self, set_idx: int, ctx: AccessContext, hit: bool, way: int) -> None:
-        indices = self.predictor.indices(ctx)
-        self._confidence = self.predictor.predict(indices)
-        self.sampler.observe(set_idx, ctx, indices, self._confidence)
+        indices = self._indices(ctx)
+        self._confidence = confidence = self._predict(indices)
+        self._observe(set_idx, ctx, indices, confidence)
 
     # -- bypass -------------------------------------------------------------
 

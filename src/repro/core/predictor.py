@@ -13,10 +13,11 @@ training rule.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import os
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cache.access import AccessContext
-from repro.core.features import Feature
+from repro.core.features import Feature, compile_fused
 from repro.core.tables import WeightTable
 from repro.predictors.base import ReusePredictor
 
@@ -24,23 +25,53 @@ CONFIDENCE_BITS = 9
 CONFIDENCE_MIN = -(1 << (CONFIDENCE_BITS - 1))   # -256
 CONFIDENCE_MAX = (1 << (CONFIDENCE_BITS - 1)) - 1  # +255
 
+PIPELINES = ("fused", "legacy")
+
+
+def default_pipeline() -> str:
+    """Index-pipeline selector: ``REPRO_FEATURE_PIPELINE`` or ``fused``.
+
+    ``legacy`` keeps the original one-closure-per-feature path; both
+    produce bit-identical indices (the fused compiler is a pure
+    strength reduction), so the choice never appears in cache keys.
+    The knob exists for the perf harness, which times one against the
+    other.
+    """
+    return os.environ.get("REPRO_FEATURE_PIPELINE", "fused")
+
 
 class MultiperspectivePredictor(ReusePredictor):
     """Hashed-perceptron dead-block predictor over parameterized features."""
 
     name = "multiperspective"
 
-    def __init__(self, features: Sequence[Feature]) -> None:
+    def __init__(self, features: Sequence[Feature],
+                 pipeline: Optional[str] = None) -> None:
         if not features:
             raise ValueError("predictor needs at least one feature")
         self.features: Tuple[Feature, ...] = tuple(features)
         self.tables: List[WeightTable] = [
             WeightTable(f.table_size) for f in self.features
         ]
-        self._index_fns = [f.compile() for f in self.features]
+        self.pipeline = pipeline or default_pipeline()
+        if self.pipeline not in PIPELINES:
+            raise ValueError(
+                f"unknown feature pipeline {self.pipeline!r}; "
+                f"choose from {PIPELINES}"
+            )
+        if self.pipeline == "fused":
+            # Shadows the method with the compiled fused index function:
+            # one call per access instead of one per feature.
+            self.indices = compile_fused(self.features)
+        else:
+            self._index_fns = [f.compile() for f in self.features]
         self.associativities: Tuple[int, ...] = tuple(
             f.associativity for f in self.features
         )
+        # The raw weight lists, hoisted once: WeightTable never rebinds
+        # its ``weights`` list (reset mutates in place), so predict()
+        # can skip one attribute hop per feature per access.
+        self._weights: List[List[int]] = [t.weights for t in self.tables]
 
     @property
     def num_features(self) -> int:
@@ -56,14 +87,20 @@ class MultiperspectivePredictor(ReusePredictor):
         This is the vector stored in a sampler entry (Section 3.3) so
         training can reach the exact weights that produced the block's
         last confidence value.
+
+        On the default ``fused`` pipeline this method is shadowed by an
+        instance attribute holding the compiled fused index function
+        (:func:`repro.core.features.compile_fused`); this body is the
+        ``legacy`` per-closure path the perf harness benchmarks
+        against.
         """
         return [fn(ctx) for fn in self._index_fns]
 
     def predict(self, indices: Sequence[int]) -> int:
         """Sum the selected weights into a saturated 9-bit confidence."""
         total = 0
-        for table, index in zip(self.tables, indices):
-            total += table.weights[index]
+        for weights, index in zip(self._weights, indices):
+            total += weights[index]
         if total > CONFIDENCE_MAX:
             return CONFIDENCE_MAX
         if total < CONFIDENCE_MIN:

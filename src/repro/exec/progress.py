@@ -31,12 +31,22 @@ class CellOutcome:
 
 @dataclass(frozen=True)
 class ExecReport:
-    """Aggregate timing/caching report for one batch of cells."""
+    """Aggregate timing/caching report for one batch of cells.
+
+    ``trace_*`` and ``stage1_*`` count lookups in the shared artifact
+    cache (:mod:`repro.exec.artifacts`) summed over every *computed*
+    cell; result-cache hits never consult artifacts, so a fully warm
+    batch reports zeros here.
+    """
 
     outcomes: Tuple[CellOutcome, ...]
     wall_seconds: float
     jobs: int
     label: str = ""
+    trace_hits: int = 0
+    trace_misses: int = 0
+    stage1_hits: int = 0
+    stage1_misses: int = 0
 
     @property
     def cells(self) -> int:
@@ -67,14 +77,27 @@ class ExecReport:
             return 0.0
         return min(1.0, self.cell_seconds / budget)
 
+    @property
+    def artifact_lookups(self) -> int:
+        return (self.trace_hits + self.trace_misses
+                + self.stage1_hits + self.stage1_misses)
+
     def summary(self) -> str:
         name = f"exec[{self.label}]" if self.label else "exec"
-        return (
+        line = (
             f"{name}: {self.cells} cells  jobs={self.jobs}  "
             f"hits={self.hits}/{self.cells} ({self.hit_rate:.0%})  "
             f"wall={self.wall_seconds:.2f}s  work={self.cell_seconds:.2f}s  "
             f"util={self.utilization:.0%}"
         )
+        if self.artifact_lookups:
+            line += (
+                f"  artifacts: trace {self.trace_hits}/"
+                f"{self.trace_hits + self.trace_misses}  "
+                f"stage1 {self.stage1_hits}/"
+                f"{self.stage1_hits + self.stage1_misses}"
+            )
+        return line
 
     def table(self) -> str:
         lines = [RULE, f"{'cell':48s} {'status':>10s} {'seconds':>10s}", RULE]

@@ -57,6 +57,7 @@ from repro.exec.cachekey import (
     task_seed,
     timing_payload,
 )
+from repro.exec.artifacts import ArtifactCache
 from repro.exec.progress import CellOutcome, ExecReport
 from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
 from repro.policies import policy_factory
@@ -66,7 +67,7 @@ from repro.sim.multi import MixResult, MultiProgrammedRunner
 from repro.sim.single import BenchmarkResult, SingleThreadRunner
 from repro.traces.mixes import Mix
 from repro.traces.trace import Segment
-from repro.traces.workloads import all_segments, build_segments
+from repro.traces.workloads import all_segments, benchmark_names, build_segments
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -158,19 +159,63 @@ class SuiteSpec:
 
 _SEGMENTS: Dict[TraceSpec, List[Segment]] = {}
 _RUNNERS: Dict[str, Any] = {}
+_ARTIFACTS: Dict[str, ArtifactCache] = {}
 
 
-def _segments(spec: TraceSpec) -> List[Segment]:
+def _artifact_cache(root: Optional[str]) -> Optional[ArtifactCache]:
+    """Per-process artifact cache over the store at ``root``.
+
+    Workers receive only the root path (cheap to pickle) and build the
+    cache lazily, so every process in a pool shares the same on-disk
+    trace/Stage-1 artifacts instead of recomputing them per worker —
+    the cross-worker duplication the in-memory memos cannot fix.
+    """
+    if not root:
+        return None
+    cache = _ARTIFACTS.get(root)
+    if cache is None:
+        cache = ArtifactCache(ResultStore(root))
+        _ARTIFACTS[root] = cache
+    return cache
+
+
+def _segments(spec: TraceSpec,
+              artifacts: Optional[ArtifactCache] = None) -> List[Segment]:
     cached = _SEGMENTS.get(spec)
     if cached is None:
-        cached = spec.build()
+        if artifacts is not None:
+            cached = artifacts.load_segments(spec.payload())
+        if cached is None:
+            cached = spec.build()
+            if artifacts is not None:
+                artifacts.store_segments(spec.payload(), cached)
         _SEGMENTS[spec] = cached
     return cached
 
 
+def _suite_segments(suite: SuiteSpec,
+                    artifacts: Optional[ArtifactCache]) -> List[Segment]:
+    """Suite segments in :meth:`SuiteSpec.build` order, artifact-cached."""
+    names = sorted(suite.names) if suite.names else sorted(benchmark_names())
+    segments: List[Segment] = []
+    for name in names:
+        segments.extend(_segments(suite.trace_spec(name), artifacts))
+    return segments
+
+
+def _scope_payload(llc_bytes: int, accesses: int, seed: int) -> Dict[str, int]:
+    """Stage-1 artifact scope: the trace *generation* parameters.
+
+    Benchmark identity lives in the segment name, so Stage-1 artifacts
+    are shared by every cell generated from the same sizing and seed.
+    """
+    return {"llc_bytes": llc_bytes, "accesses": accesses, "seed": seed}
+
+
 def _runner_key(kind: str, hierarchy: HierarchyConfig,
                 timing: Optional[TimingConfig], prefetch: bool,
-                warmup_fraction: float, scope: Any) -> str:
+                warmup_fraction: float, scope: Any,
+                artifact_root: Optional[str] = None) -> str:
     return stable_hash({
         "kind": kind,
         "hierarchy": hierarchy_payload(hierarchy),
@@ -178,49 +223,76 @@ def _runner_key(kind: str, hierarchy: HierarchyConfig,
         "prefetch": prefetch,
         "warmup_fraction": warmup_fraction,
         "scope": scope,
+        "artifacts": artifact_root,
     })
 
 
+def _stage1_store(artifacts: Optional[ArtifactCache], llc_bytes: int,
+                  accesses: int, seed: int, hierarchy: HierarchyConfig,
+                  prefetch: bool):
+    if artifacts is None:
+        return None
+    return artifacts.stage1_store(
+        _scope_payload(llc_bytes, accesses, seed), hierarchy, prefetch
+    )
+
+
 def _single_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
-                   prefetch: bool, warmup_fraction: float,
-                   scope: Any) -> SingleThreadRunner:
+                   prefetch: bool, warmup_fraction: float, spec: TraceSpec,
+                   artifacts: Optional[ArtifactCache]) -> SingleThreadRunner:
+    root = str(artifacts.store.root) if artifacts is not None else None
     key = _runner_key("single", hierarchy, timing, prefetch, warmup_fraction,
-                      scope)
+                      spec.scope(), root)
     runner = _RUNNERS.get(key)
     if runner is None:
-        runner = SingleThreadRunner(hierarchy, timing=timing,
-                                    prefetch=prefetch,
-                                    warmup_fraction=warmup_fraction)
+        runner = SingleThreadRunner(
+            hierarchy, timing=timing, prefetch=prefetch,
+            warmup_fraction=warmup_fraction,
+            stage1_store=_stage1_store(artifacts, spec.llc_bytes,
+                                       spec.accesses, spec.seed,
+                                       hierarchy, prefetch),
+        )
         _RUNNERS[key] = runner
     return runner
 
 
 def _multi_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
-                  prefetch: bool, warmup_fraction: float,
-                  scope: Any) -> MultiProgrammedRunner:
+                  prefetch: bool, warmup_fraction: float, suite: SuiteSpec,
+                  artifacts: Optional[ArtifactCache]) -> MultiProgrammedRunner:
+    root = str(artifacts.store.root) if artifacts is not None else None
     key = _runner_key("multi", hierarchy, timing, prefetch, warmup_fraction,
-                      scope)
+                      suite.payload(), root)
     runner = _RUNNERS.get(key)
     if runner is None:
-        runner = MultiProgrammedRunner(hierarchy, timing=timing,
-                                       prefetch=prefetch,
-                                       warmup_fraction=warmup_fraction)
+        runner = MultiProgrammedRunner(
+            hierarchy, timing=timing, prefetch=prefetch,
+            warmup_fraction=warmup_fraction,
+            stage1_store=_stage1_store(artifacts, suite.llc_bytes,
+                                       suite.accesses, suite.seed,
+                                       hierarchy, prefetch),
+        )
         _RUNNERS[key] = runner
     return runner
 
 
 def _search_evaluator(suite: SuiteSpec, hierarchy: HierarchyConfig,
                       base_config: Optional[MPPPBConfig], prefetch: bool,
-                      warmup_fraction: float) -> FeatureSetEvaluator:
+                      warmup_fraction: float,
+                      artifacts: Optional[ArtifactCache]) -> FeatureSetEvaluator:
+    root = str(artifacts.store.root) if artifacts is not None else None
     scope = dict(suite.payload(),
                  base=None if base_config is None else mpppb_payload(base_config))
     key = _runner_key("evaluator", hierarchy, None, prefetch, warmup_fraction,
-                      scope)
+                      scope, root)
     evaluator = _RUNNERS.get(key)
     if evaluator is None:
         evaluator = FeatureSetEvaluator(
-            suite.build(), hierarchy, base_config=base_config,
-            warmup_fraction=warmup_fraction, prefetch=prefetch,
+            _suite_segments(suite, artifacts), hierarchy,
+            base_config=base_config, warmup_fraction=warmup_fraction,
+            prefetch=prefetch,
+            stage1_store=_stage1_store(artifacts, suite.llc_bytes,
+                                       suite.accesses, suite.seed,
+                                       hierarchy, prefetch),
         )
         _RUNNERS[key] = evaluator
     return evaluator
@@ -258,11 +330,11 @@ class SingleCell:
             "policy": policy_payload(self.policy, self.mpppb_config),
         }
 
-    def run(self) -> BenchmarkResult:
+    def run(self, artifacts: Optional[ArtifactCache] = None) -> BenchmarkResult:
         runner = _single_runner(self.hierarchy, self.timing, self.prefetch,
-                                self.warmup_fraction, self.trace.scope())
+                                self.warmup_fraction, self.trace, artifacts)
         return runner.run_benchmark(
-            self.trace.benchmark, _segments(self.trace),
+            self.trace.benchmark, _segments(self.trace, artifacts),
             policy_factory(self.policy, self.mpppb_config),
         )
 
@@ -305,13 +377,14 @@ class MixCell:
             "policy": policy_payload(self.policy, self.mpppb_config),
         }
 
-    def _mix(self) -> Mix:
+    def _mix(self, artifacts: Optional[ArtifactCache] = None) -> Mix:
         chosen: List[Segment] = []
         for name in self.segment_names:
             benchmark = name.split(".", 1)[0]
             by_name = {
                 segment.name: segment
-                for segment in _segments(self.suite.trace_spec(benchmark))
+                for segment in _segments(self.suite.trace_spec(benchmark),
+                                         artifacts)
             }
             try:
                 chosen.append(by_name[name])
@@ -321,11 +394,11 @@ class MixCell:
                 ) from None
         return Mix(self.mix_name, tuple(chosen))
 
-    def run(self) -> MixResult:
+    def run(self, artifacts: Optional[ArtifactCache] = None) -> MixResult:
         runner = _multi_runner(self.hierarchy, self.timing, self.prefetch,
-                               self.warmup_fraction, self.suite.payload())
+                               self.warmup_fraction, self.suite, artifacts)
         return runner.run_mix(
-            self._mix(), policy_factory(self.policy, self.mpppb_config)
+            self._mix(artifacts), policy_factory(self.policy, self.mpppb_config)
         )
 
     def encode(self, result: MixResult) -> Dict[str, Any]:
@@ -365,10 +438,10 @@ class SearchCell:
             "warmup_fraction": self.warmup_fraction,
         }
 
-    def run(self) -> float:
+    def run(self, artifacts: Optional[ArtifactCache] = None) -> float:
         evaluator = _search_evaluator(self.suite, self.hierarchy,
                                       self.base_config, self.prefetch,
-                                      self.warmup_fraction)
+                                      self.warmup_fraction, artifacts)
         return evaluator.evaluate(self.features)
 
     def encode(self, result: float) -> float:
@@ -381,12 +454,28 @@ class SearchCell:
 Cell = Union[SingleCell, MixCell, SearchCell]
 
 
-def _execute_cell(cell: Cell, key: str) -> Tuple[Any, float]:
-    """Run one cell with deterministic seeding; returns (result, seconds)."""
+def _execute_cell(cell: Cell, key: str,
+                  artifact_root: Optional[str] = None
+                  ) -> Tuple[Any, float, Dict[str, int]]:
+    """Run one cell with deterministic seeding.
+
+    Returns (result, seconds, artifact hit/miss deltas).  The artifact
+    cache only changes *where* trace and Stage-1 data come from, never
+    their values, so seeding and results are identical with it on,
+    off, cold, or warm.
+    """
+    artifacts = _artifact_cache(artifact_root)
+    before = artifacts.stats.counts() if artifacts is not None else {}
     random.seed(task_seed(key))
     started = time.perf_counter()
-    result = cell.run()
-    return result, time.perf_counter() - started
+    result = cell.run(artifacts)
+    seconds = time.perf_counter() - started
+    if artifacts is not None:
+        after = artifacts.stats.counts()
+        delta = {name: after[name] - before[name] for name in after}
+    else:
+        delta = {}
+    return result, seconds, delta
 
 
 _AUTO_STORE = object()
@@ -408,6 +497,15 @@ class ParallelRunner:
         )
         self.verbose = _verbose_default() if verbose is None else verbose
         self.last_report: Optional[ExecReport] = None
+        # Trace/Stage-1 artifacts live in the same store as results and
+        # ride its enable/disable switch; REPRO_ARTIFACT_CACHE=off opts
+        # out of just the artifact layer (results stay cached).
+        artifacts_off = (os.environ.get("REPRO_ARTIFACT_CACHE", "").lower()
+                         in DISABLED_SENTINELS)
+        self.artifact_root: Optional[str] = (
+            None if self.store is None or artifacts_off
+            else str(self.store.root)
+        )
 
     @classmethod
     def from_options(cls, jobs: Optional[int] = None,
@@ -441,23 +539,26 @@ class ParallelRunner:
             else:
                 pending.append((index, key, cell))
 
+        artifact_counts: Dict[str, int] = {}
         workers = min(self.jobs, len(pending))
         if workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_cell, cell, key): (index, key, cell)
+                    pool.submit(_execute_cell, cell, key,
+                                self.artifact_root): (index, key, cell)
                     for index, key, cell in pending
                 }
                 for future in as_completed(futures):
                     index, key, cell = futures[future]
-                    result, seconds = future.result()
+                    result, seconds, delta = future.result()
                     self._record(cell, key, result, seconds, index,
-                                 results, outcomes)
+                                 results, outcomes, artifact_counts, delta)
         else:
             for index, key, cell in pending:
-                result, seconds = _execute_cell(cell, key)
+                result, seconds, delta = _execute_cell(cell, key,
+                                                       self.artifact_root)
                 self._record(cell, key, result, seconds, index,
-                             results, outcomes)
+                             results, outcomes, artifact_counts, delta)
 
         self.last_report = ExecReport(
             outcomes=tuple(outcome for outcome in outcomes
@@ -465,6 +566,10 @@ class ParallelRunner:
             wall_seconds=time.perf_counter() - started,
             jobs=self.jobs,
             label=label,
+            trace_hits=artifact_counts.get("trace_hits", 0),
+            trace_misses=artifact_counts.get("trace_misses", 0),
+            stage1_hits=artifact_counts.get("stage1_hits", 0),
+            stage1_misses=artifact_counts.get("stage1_misses", 0),
         )
         if self.verbose:
             print(self.last_report.table())
@@ -472,9 +577,13 @@ class ParallelRunner:
 
     def _record(self, cell: Cell, key: str, result: Any, seconds: float,
                 index: int, results: List[Any],
-                outcomes: List[Optional[CellOutcome]]) -> None:
+                outcomes: List[Optional[CellOutcome]],
+                artifact_counts: Dict[str, int],
+                delta: Dict[str, int]) -> None:
         results[index] = result
         outcomes[index] = CellOutcome(cell.label(), key, False, seconds)
+        for name, count in delta.items():
+            artifact_counts[name] = artifact_counts.get(name, 0) + count
         if self.store is not None:
             self.store.put(key, {"kind": cell.kind,
                                  "result": cell.encode(result)})

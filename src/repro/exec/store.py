@@ -1,15 +1,23 @@
 """Content-addressed on-disk result cache.
 
-Blobs are JSON files stored under ``<root>/<key[:2]>/<key>.json`` where
-``key`` is the cell's stable hash (:mod:`repro.exec.cachekey`).  Each
-blob records the schema version and the cell kind alongside the
-serialized result, so stale or foreign blobs are treated as misses
-rather than deserialized incorrectly.
+Two kinds of blob live under the same root, both keyed by the cell's
+stable hash (:mod:`repro.exec.cachekey`):
+
+* **JSON results** — ``<root>/<key[:2]>/<key>.json``; each blob records
+  the schema version and the cell kind alongside the serialized result,
+  so stale or foreign blobs are treated as misses rather than
+  deserialized incorrectly.
+* **Binary artifacts** — ``<root>/<key[:2]>/<key>.bin``; opaque bytes
+  whose framing and schema validation belong to
+  :mod:`repro.exec.artifacts` (packed traces and Stage-1 streams).
 
 The store is safe for concurrent writers (atomic ``os.replace`` of a
-temp file) and keeps simple LRU semantics: ``get`` touches the blob's
-mtime and eviction removes the oldest blobs once ``max_entries`` is
-exceeded.  Hit/miss/store/evict counters feed the execution report.
+temp file) and keeps LRU semantics over both blob kinds.  Recency is
+tracked in an append-only ``index.log`` of relative blob paths — a
+monotonic insertion/touch order that stays stable even when many blobs
+are written within the same filesystem-timestamp second; mtime is only
+a fallback for blobs that predate the log.  Hit/miss/store/evict
+counters feed the execution report.
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: ``REPRO_CACHE_DIR`` values that disable on-disk caching entirely.
 DISABLED_SENTINELS = ("off", "none", "0")
+
+#: Name of the append-only recency log kept at the store root.
+INDEX_NAME = "index.log"
 
 
 @dataclass
@@ -49,7 +60,7 @@ class CacheStats:
 
 
 class ResultStore:
-    """JSON blob store keyed by content hash, with LRU eviction."""
+    """Blob store keyed by content hash, with LRU eviction."""
 
     def __init__(self, root, max_entries: int = 100_000) -> None:
         if max_entries < 1:
@@ -62,13 +73,63 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _bin_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.bin"
+
     def _blobs(self) -> List[Path]:
         if not self.root.is_dir():
             return []
-        return list(self.root.glob("??/*.json"))
+        return list(self.root.glob("??/*.json")) + list(self.root.glob("??/*.bin"))
 
     def __len__(self) -> int:
         return len(self._blobs())
+
+    # -- recency index -----------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def _touch(self, path: Path) -> None:
+        """Record ``path`` as most recently used.
+
+        Appends the blob's relative path to the monotonic recency log;
+        appends are ordered by write order, not timestamps, so LRU
+        ordering survives bursts of same-second activity.  Also bumps
+        the mtime as a fallback signal for stores whose log was lost.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        try:
+            with open(self._index_path(), "a", encoding="utf-8") as handle:
+                handle.write(f"{path.parent.name}/{path.name}\n")
+        except OSError:
+            pass
+
+    def _recency(self) -> Dict[str, int]:
+        """Relative path -> last log position (higher = more recent)."""
+        order: Dict[str, int] = {}
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as handle:
+                for position, line in enumerate(handle):
+                    order[line.strip()] = position
+        except OSError:
+            pass
+        return order
+
+    def _rewrite_index(self, survivors: List[Path]) -> None:
+        """Compact the log to the surviving blobs, oldest first."""
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for path in survivors:
+                    handle.write(f"{path.parent.name}/{path.name}\n")
+            os.replace(tmp, self._index_path())
+        except OSError:
+            pass
+
+    # -- JSON result blobs -------------------------------------------------
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload for ``key``, or ``None`` on miss."""
@@ -82,24 +143,48 @@ class ResultStore:
         if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
             self.stats.misses += 1
             return None
-        try:
-            os.utime(path)  # LRU touch
-        except OSError:
-            pass
+        self._touch(path)
         self.stats.hits += 1
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically persist ``payload`` (stamped with the schema)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         blob = dict(payload)
         blob["schema"] = SCHEMA_VERSION
+        data = json.dumps(blob, separators=(",", ":")).encode("utf-8")
+        self._write(self._path(key), data)
+
+    # -- binary artifact blobs --------------------------------------------
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """Return the binary blob for ``key``, or ``None`` on miss.
+
+        Framing and schema validation are the caller's responsibility
+        (see :mod:`repro.exec.artifacts`).
+        """
+        path = self._bin_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self._touch(path)
+        self.stats.hits += 1
+        return data
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        """Atomically persist an opaque binary blob."""
+        self._write(self._bin_path(key), data)
+
+    # -- shared write/evict machinery -------------------------------------
+
+    def _write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
         existed = path.exists()
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(blob, handle, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -107,6 +192,7 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._touch(path)
         self.stats.stores += 1
         if self._count is None:
             self._count = len(self._blobs())
@@ -116,17 +202,34 @@ class ResultStore:
             self._evict()
 
     def _evict(self) -> None:
-        """Drop oldest blobs until back under ``max_entries``."""
+        """Drop least-recently-used blobs until back under ``max_entries``.
+
+        Recency comes from the monotonic ``index.log`` positions;
+        filesystem mtime only breaks ties for unlogged blobs (which
+        sort oldest), so same-second writes evict in insertion order.
+        """
         blobs = self._blobs()
-        blobs.sort(key=lambda p: (p.stat().st_mtime, p.name))
-        excess = len(blobs) - self.max_entries
-        for path in blobs[:max(0, excess)]:
+        order = self._recency()
+
+        def rank(path: Path):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                mtime = 0.0
+            return (order.get(f"{path.parent.name}/{path.name}", -1),
+                    mtime, path.name)
+
+        blobs.sort(key=rank)
+        excess = max(0, len(blobs) - self.max_entries)
+        for path in blobs[:excess]:
             try:
                 path.unlink()
                 self.stats.evictions += 1
             except OSError:
                 pass
-        self._count = len(blobs) - max(0, excess)
+        survivors = blobs[excess:]
+        self._rewrite_index(survivors)
+        self._count = len(survivors)
 
     def clear(self) -> int:
         """Remove every blob; returns the number removed."""
@@ -137,5 +240,9 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
+        try:
+            self._index_path().unlink()
+        except OSError:
+            pass
         self._count = 0
         return removed

@@ -1,0 +1,268 @@
+"""Hot-path performance harness.
+
+Times the three pipeline stages in isolation and an end-to-end
+policy compare against cold and warm artifact caches, producing the
+``BENCH_hotpath.json`` report the CI perf-smoke job gates on.
+
+Report schema (``REPORT_SCHEMA``)::
+
+    {
+      "schema": 1,                # REPORT_SCHEMA, not the cache schema
+      "scale": "tiny",
+      "benchmark": "soplex",      # hot-path micro-benchmark workload
+      "accesses": 4000,
+      "repeats": 3,               # best-of-N for every timing
+      "hotpath": {
+        "trace_gen_s": float,     # synthesize all segments once
+        "stage1_s": float,        # upper-level hierarchy, all segments
+        "stage2": {               # per policy: replay, both pipelines
+          "<policy>": {"fused": float, "legacy": float}
+        }
+      },
+      "compare": {                # end-to-end engine compare
+        "benchmarks": [...], "policies": [...],
+        "cold_s": float,          # empty artifact cache, empty memos
+        "warm_s": float,          # artifact cache from the cold run
+        "speedup": float          # cold_s / warm_s
+      }
+    }
+
+All timings are best-of-``repeats`` wall seconds: minimums are far more
+stable than means on shared CI runners.  The fused-vs-legacy gate
+(:func:`check_report`) only inspects policies that actually use the
+feature pipeline (``mpppb*``); for everything else the two paths are
+the same code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import ReproScale, get_scale
+from repro.policies import policy_factory
+from repro.sim.hierarchy import UpperLevels
+from repro.sim.single import SingleThreadRunner
+from repro.traces.trace import Segment
+from repro.traces.workloads import build_segments
+
+REPORT_SCHEMA = 1
+DEFAULT_REPORT = "BENCH_hotpath.json"
+DEFAULT_POLICIES = ("lru", "srrip", "mpppb-1a")
+# Cache-friendly workloads whose LLC streams are short: the shared
+# stages (trace synthesis + Stage 1) dominate the compare, which is
+# exactly what the artifact cache removes on the warm run.
+DEFAULT_COMPARE_BENCHMARKS = ("gamess", "hmmer", "povray")
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@contextmanager
+def _pipeline(name: str):
+    """Pin ``REPRO_FEATURE_PIPELINE`` for the duration of a timing."""
+    old = os.environ.get("REPRO_FEATURE_PIPELINE")
+    os.environ["REPRO_FEATURE_PIPELINE"] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_FEATURE_PIPELINE"]
+        else:
+            os.environ["REPRO_FEATURE_PIPELINE"] = old
+
+
+# -- stage micro-benchmarks ------------------------------------------------
+
+
+def bench_hotpath(scale: ReproScale, benchmark: str,
+                  policies: Sequence[str], repeats: int) -> Dict[str, Any]:
+    """Per-stage timings for one benchmark at one scale."""
+    hierarchy = scale.hierarchy
+    accesses = scale.segment_accesses
+
+    trace_gen_s = _best_of(repeats, lambda: build_segments(
+        benchmark, hierarchy.llc_bytes, accesses))
+    segments: List[Segment] = build_segments(benchmark, hierarchy.llc_bytes,
+                                             accesses)
+
+    upper = UpperLevels(hierarchy)
+    stage1_s = _best_of(repeats, lambda: [upper.run(s.trace)
+                                          for s in segments])
+
+    # Stage 2+3 replay through the single-thread runner with Stage 1
+    # pre-seeded, so each timing covers exactly the per-policy work a
+    # compare pays after the shared stages are cached.
+    runner = SingleThreadRunner(hierarchy,
+                                warmup_fraction=scale.warmup_fraction)
+    for segment in segments:
+        runner.upper_result(segment)
+
+    stage2: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        timings: Dict[str, float] = {}
+        for pipeline in ("fused", "legacy"):
+            with _pipeline(pipeline):
+                timings[pipeline] = _best_of(repeats, lambda: [
+                    runner.run_segment(s, policy_factory(policy, None))
+                    for s in segments
+                ])
+        stage2[policy] = timings
+
+    return {
+        "trace_gen_s": round(trace_gen_s, 6),
+        "stage1_s": round(stage1_s, 6),
+        "stage2": {p: {k: round(v, 6) for k, v in t.items()}
+                   for p, t in stage2.items()},
+    }
+
+
+# -- end-to-end compare (cold vs warm artifact cache) ----------------------
+
+
+def bench_compare(scale: ReproScale, benchmarks: Sequence[str],
+                  policies: Sequence[str], cache_root: str,
+                  repeats: int = 1) -> Dict[str, Any]:
+    """Time a serial multi-policy compare, cold then artifact-warm.
+
+    Both runs disable the *result* store (every cell computes) and
+    clear the in-process segment/runner memos first, so the only
+    difference between them is whether trace and Stage-1 artifacts are
+    already on disk — exactly the state a fresh worker process or a
+    second invocation sees.  The cold/warm pair repeats best-of-N
+    (cache cleared between pairs) to keep the speedup ratio stable.
+    """
+    import shutil
+
+    from repro.exec import runner as exec_runner
+    from repro.exec.runner import ParallelRunner, SingleCell, TraceSpec
+
+    def build_cells():
+        return [
+            SingleCell(
+                trace=TraceSpec(name, scale.hierarchy.llc_bytes,
+                                scale.segment_accesses),
+                policy=policy,
+                hierarchy=scale.hierarchy,
+                warmup_fraction=scale.warmup_fraction,
+            )
+            for policy in policies for name in benchmarks
+        ]
+
+    def timed_run() -> float:
+        exec_runner._SEGMENTS.clear()
+        exec_runner._RUNNERS.clear()
+        exec_runner._ARTIFACTS.clear()
+        engine = ParallelRunner(jobs=1, store=None, verbose=False)
+        # No result store, artifacts only: the harness measures the
+        # shared-stage cache, not result-blob reuse.
+        engine.artifact_root = cache_root
+        started = time.perf_counter()
+        engine.run(build_cells(), label="perf")
+        return time.perf_counter() - started
+
+    cold_s = warm_s = float("inf")
+    for attempt in range(max(1, repeats)):
+        if attempt:
+            shutil.rmtree(cache_root, ignore_errors=True)
+            os.makedirs(cache_root, exist_ok=True)
+        cold_s = min(cold_s, timed_run())
+        warm_s = min(warm_s, timed_run())
+    return {
+        "benchmarks": list(benchmarks),
+        "policies": list(policies),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3) if warm_s > 0 else float("inf"),
+    }
+
+
+# -- report ----------------------------------------------------------------
+
+
+def build_report(scale_name: str = "", benchmark: str = "soplex",
+                 benchmarks: Sequence[str] = DEFAULT_COMPARE_BENCHMARKS,
+                 policies: Sequence[str] = DEFAULT_POLICIES,
+                 repeats: int = 3,
+                 cache_root: Optional[str] = None) -> Dict[str, Any]:
+    """Run the full harness; returns the report payload."""
+    import tempfile
+
+    scale = get_scale(scale_name)
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "scale": scale.name,
+        "benchmark": benchmark,
+        "accesses": scale.segment_accesses,
+        "repeats": repeats,
+        "hotpath": bench_hotpath(scale, benchmark, policies, repeats),
+    }
+    if cache_root is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            report["compare"] = bench_compare(scale, benchmarks, policies,
+                                              tmp, repeats=repeats)
+    else:
+        report["compare"] = bench_compare(scale, benchmarks, policies,
+                                          cache_root, repeats=repeats)
+    return report
+
+
+def check_report(report: Dict[str, Any],
+                 tolerance: float = 1.0) -> List[str]:
+    """Regression gate: fused Stage-2 must not be slower than legacy.
+
+    Only ``mpppb*`` policies are gated — they are the only consumers of
+    the feature pipeline, so for other policies fused-vs-legacy is pure
+    timer noise.  Returns a list of failure messages (empty = pass).
+    """
+    failures: List[str] = []
+    for policy, timings in report["hotpath"]["stage2"].items():
+        if not policy.startswith("mpppb"):
+            continue
+        fused, legacy = timings["fused"], timings["legacy"]
+        if fused > legacy * tolerance:
+            failures.append(
+                f"{policy}: fused stage-2 {fused:.4f}s slower than "
+                f"legacy {legacy:.4f}s (tolerance x{tolerance})"
+            )
+    return failures
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    hot = report["hotpath"]
+    lines = [
+        f"perf[{report['scale']}] {report['benchmark']} "
+        f"({report['accesses']} accesses, best of {report['repeats']})",
+        f"  trace gen {hot['trace_gen_s']:8.4f}s   "
+        f"stage 1 {hot['stage1_s']:8.4f}s",
+    ]
+    for policy, timings in hot["stage2"].items():
+        fused, legacy = timings["fused"], timings["legacy"]
+        ratio = legacy / fused if fused > 0 else float("inf")
+        lines.append(f"  stage 2 {policy:12s} fused {fused:8.4f}s   "
+                     f"legacy {legacy:8.4f}s   ({ratio:.2f}x)")
+    cmp_ = report["compare"]
+    lines.append(
+        f"  compare {len(cmp_['policies'])} policies x "
+        f"{len(cmp_['benchmarks'])} benchmarks: "
+        f"cold {cmp_['cold_s']:.3f}s  warm {cmp_['warm_s']:.3f}s  "
+        f"({cmp_['speedup']:.2f}x with warm artifacts)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any],
+                 path: str = DEFAULT_REPORT) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

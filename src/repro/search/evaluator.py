@@ -42,6 +42,7 @@ class FeatureSetEvaluator:
         prefetch: bool = True,
         executor: Optional["ParallelRunner"] = None,
         spec: Optional["SuiteSpec"] = None,
+        stage1_store=None,
     ) -> None:
         if not segments:
             raise ValueError("evaluator needs at least one segment")
@@ -51,7 +52,8 @@ class FeatureSetEvaluator:
         self.warmup_fraction = warmup_fraction
         self.prefetch = prefetch
         self.runner = SingleThreadRunner(
-            hierarchy, prefetch=prefetch, warmup_fraction=warmup_fraction
+            hierarchy, prefetch=prefetch, warmup_fraction=warmup_fraction,
+            stage1_store=stage1_store,
         )
         self.executor = executor
         self.spec = spec

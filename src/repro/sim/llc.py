@@ -111,8 +111,21 @@ class LLCSimulator:
         last_was_miss = self._last_was_miss
         set_mask = cache.num_sets - 1
         outcomes: List[bool] = []
+        append_outcome = outcomes.append
         warm = LLCStats()
         measured = LLCStats()
+        # Hoist the per-access attribute lookups out of the replay loop:
+        # these bound methods and lists are consulted for every access.
+        where = cache._where
+        on_access = policy.on_access
+        on_hit = policy.on_hit
+        on_fill = policy.on_fill
+        on_evict = policy.on_evict
+        is_mru = policy.is_mru
+        should_bypass = policy.should_bypass
+        choose_victim = policy.choose_victim
+        invalid_way = cache.invalid_way
+        install = cache.install
         # One context object is reused across the whole replay: policies
         # and predictors read it synchronously and never retain it.
         ctx = AccessContext(pc=0, address=0, block=0, offset=0,
@@ -121,7 +134,7 @@ class LLCSimulator:
             stats = measured if index >= warmup else warm
             block = access.block
             set_idx = block & set_mask
-            way = cache.lookup(set_idx, block)
+            way = where[set_idx].get(block, -1)
             hit = way >= 0
             ctx.pc = access.pc
             ctx.address = (block << 6) | access.offset
@@ -133,8 +146,8 @@ class LLCSimulator:
             ctx.history_index = access.mem_index
             ctx.is_insert = not hit
             ctx.last_was_miss = last_was_miss[set_idx]
-            ctx.is_mru_hit = hit and policy.is_mru(set_idx, way)
-            policy.on_access(set_idx, ctx, hit, way)
+            ctx.is_mru_hit = hit and is_mru(set_idx, way)
+            on_access(set_idx, ctx, hit, way)
             stats.accesses += 1
             if not access.is_prefetch:
                 stats.demand_accesses += 1
@@ -142,22 +155,22 @@ class LLCSimulator:
                 stats.hits += 1
                 if not access.is_prefetch:
                     stats.demand_hits += 1
-                policy.on_hit(set_idx, way, ctx)
+                on_hit(set_idx, way, ctx)
             else:
                 stats.misses += 1
                 if not access.is_prefetch:
                     stats.demand_misses += 1
-                if policy.should_bypass(set_idx, ctx):
+                if should_bypass(set_idx, ctx):
                     stats.bypasses += 1
                 else:
-                    fill_way = cache.invalid_way(set_idx)
+                    fill_way = invalid_way(set_idx)
                     if fill_way < 0:
-                        fill_way = policy.choose_victim(set_idx, ctx)
+                        fill_way = choose_victim(set_idx, ctx)
                         evicted = cache.tags[set_idx][fill_way]
-                        policy.on_evict(set_idx, fill_way, evicted)
+                        on_evict(set_idx, fill_way, evicted)
                         stats.evictions += 1
-                    cache.install(set_idx, fill_way, block)
-                    policy.on_fill(set_idx, fill_way, ctx)
+                    install(set_idx, fill_way, block)
+                    on_fill(set_idx, fill_way, ctx)
             last_was_miss[set_idx] = not hit
-            outcomes.append(hit)
+            append_outcome(hit)
         return LLCResult(outcomes=outcomes, stats=measured, warm_stats=warm)

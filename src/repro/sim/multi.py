@@ -99,11 +99,13 @@ class MultiProgrammedRunner:
         timing: Optional[TimingConfig] = None,
         prefetch: bool = True,
         warmup_fraction: float = 0.25,
+        stage1_store: Optional[Any] = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.timing = timing or TimingConfig()
         self.prefetch = prefetch
         self.warmup_fraction = warmup_fraction
+        self.stage1_store = stage1_store
         self._upper = UpperLevels(hierarchy, prefetch=prefetch)
         self._threads: Dict[str, ThreadData] = {}
 
@@ -120,7 +122,14 @@ class MultiProgrammedRunner:
         cached = self._threads.get(segment.name)
         if cached is not None:
             return cached
-        upper = self._upper.run(segment.trace)
+        upper = None
+        store = self.stage1_store
+        if store is not None:
+            upper = store.load(segment)
+        if upper is None:
+            upper = self._upper.run(segment.trace)
+            if store is not None:
+                store.save(segment, upper)
         llc_bytes, ways, num_sets = self._geometry
         warm_mem = int(len(segment.trace.pcs) * self.warmup_fraction)
         warm_llc = upper.llc_warmup_boundary(warm_mem)

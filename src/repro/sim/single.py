@@ -132,6 +132,7 @@ class SingleThreadRunner:
         timing: Optional[TimingConfig] = None,
         prefetch: bool = True,
         warmup_fraction: float = 0.25,
+        stage1_store: Optional[Any] = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -139,16 +140,29 @@ class SingleThreadRunner:
         self.timing = timing or TimingConfig()
         self.prefetch = prefetch
         self.warmup_fraction = warmup_fraction
+        self.stage1_store = stage1_store
         self._upper = UpperLevels(hierarchy, prefetch=prefetch)
         self._stage1_cache: Dict[str, UpperLevelResult] = {}
 
     # -- stage 1 ----------------------------------------------------------
 
     def upper_result(self, segment: Segment) -> UpperLevelResult:
-        """Stage-1 result for a segment, computed once and memoized."""
+        """Stage-1 result for a segment, computed once and memoized.
+
+        With a ``stage1_store`` attached (an on-disk artifact adapter,
+        see :class:`repro.exec.artifacts.Stage1ArtifactStore`), results
+        are shared across processes and sessions; the in-memory memo
+        still guarantees one (de)serialization per segment per runner.
+        """
         cached = self._stage1_cache.get(segment.name)
         if cached is None:
-            cached = self._upper.run(segment.trace)
+            store = self.stage1_store
+            if store is not None:
+                cached = store.load(segment)
+            if cached is None:
+                cached = self._upper.run(segment.trace)
+                if store is not None:
+                    store.save(segment, cached)
             self._stage1_cache[segment.name] = cached
         return cached
 

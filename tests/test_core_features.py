@@ -15,6 +15,7 @@ from repro.core.features import (
     LastMissFeature,
     OffsetFeature,
     PCFeature,
+    compile_fused,
     parse_feature,
     parse_feature_set,
     perturb_feature,
@@ -213,3 +214,87 @@ class TestSearchHelpers:
         assert perturbed.family == feature.family
         # And the perturbed feature still produces in-range indices.
         assert 0 <= perturbed.index(ctx()) < perturbed.table_size
+
+
+def _random_ctx(rng):
+    history = tuple(rng.getrandbits(48) for _ in range(rng.randint(0, 24)))
+    address = rng.getrandbits(48)
+    return AccessContext(
+        pc=rng.getrandbits(48), address=address,
+        block=address >> 6, offset=address & 63,
+        is_write=rng.random() < 0.3, is_prefetch=rng.random() < 0.2,
+        stream_index=rng.randint(0, 10_000),
+        pc_history=history,
+        history_index=rng.randint(-2, len(history) + 2),
+        is_insert=rng.random() < 0.5, is_mru_hit=rng.random() < 0.5,
+        last_was_miss=rng.random() < 0.5,
+    )
+
+
+# One exemplar per family, covering narrow and wide bit ranges, PC
+# history depths, and both X settings.
+_FAMILY_EXEMPLARS = [
+    PCFeature(10, False, begin=1, end=53, depth=0),   # wide, folds
+    PCFeature(4, True, begin=2, end=7, depth=3),      # narrow, history
+    PCFeature(18, False, begin=0, end=63, depth=17),  # deepest history
+    AddressFeature(5, False, begin=6, end=30),
+    AddressFeature(12, True, begin=50, end=12),       # reversed range
+    BiasFeature(3, False),
+    BiasFeature(3, True),
+    BurstFeature(7, True),
+    InsertFeature(2, False),
+    LastMissFeature(9, True),
+    OffsetFeature(6, False, begin=1, end=5),
+    OffsetFeature(6, True, begin=0, end=5),
+]
+
+
+class TestFusedPipeline:
+    """The fused compiler is a pure strength reduction: for every
+    feature family and parameterization it must produce exactly the
+    indices the per-feature ``compile()`` closures produce."""
+
+    @pytest.mark.parametrize(
+        "feature", _FAMILY_EXEMPLARS, ids=lambda f: f.spec()
+    )
+    def test_each_family_matches_compile(self, feature):
+        rng = random.Random(hash(feature.spec()) & 0xFFFF)
+        fused = compile_fused([feature])
+        closure = feature.compile()
+        for _ in range(300):
+            sample = _random_ctx(rng)
+            assert fused(sample) == [closure(sample)]
+
+    @pytest.mark.parametrize("specs", [TABLE_1A_SPECS, TABLE_1B_SPECS,
+                                       TABLE_2_SPECS],
+                             ids=["1a", "1b", "2"])
+    def test_published_tables_match_compile(self, specs):
+        features = parse_feature_set(specs)
+        fused = compile_fused(features)
+        closures = [f.compile() for f in features]
+        rng = random.Random(2017)
+        for _ in range(300):
+            sample = _random_ctx(rng)
+            assert fused(sample) == [fn(sample) for fn in closures]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_sets_match_compile(self, seed):
+        rng = random.Random(seed)
+        features = random_feature_set(rng, size=rng.randint(1, 16))
+        fused = compile_fused(features)
+        closures = [f.compile() for f in features]
+        for _ in range(50):
+            sample = _random_ctx(rng)
+            assert fused(sample) == [fn(sample) for fn in closures]
+
+    def test_duplicate_features_share_extractors(self):
+        feature = PCFeature(10, True, begin=1, end=53, depth=0)
+        fused = compile_fused([feature, feature, feature])
+        sample = ctx()
+        index = feature.compile()(sample)
+        assert fused(sample) == [index, index, index]
+
+    def test_compiled_function_is_memoized(self):
+        features = parse_feature_set(TABLE_1A_SPECS)
+        assert compile_fused(features) is compile_fused(tuple(features))

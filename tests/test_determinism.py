@@ -1,0 +1,125 @@
+"""Pinned-hash determinism regression tests.
+
+The perf work (fused feature pipeline, artifact cache, array-backed
+state) must never change simulation *results* — only how fast they
+are produced.  These tests run a small reference workload and compare
+a stable hash of the full result tables against hashes pinned when
+the optimizations landed, across every execution mode: serial,
+parallel, cold artifact cache, warm artifact cache, and with the
+artifact layer disabled.
+
+If a change legitimately alters simulation output (a modeling fix, a
+new feature), re-pin the hashes below in the same commit and say why
+in the commit message.  If you did not intend to change output, a
+failure here means a bug.
+"""
+
+import pytest
+
+from repro.config import TINY
+from repro.exec import MixCell, ParallelRunner, SingleCell, SuiteSpec, TraceSpec
+from repro.exec.cachekey import stable_hash
+from repro.exec.store import ResultStore
+from repro.traces.mixes import generate_mixes
+from repro.traces.workloads import build_suite
+
+ACCESSES = 2_500
+BENCHMARKS = ("gamess", "soplex")
+POLICIES = ("lru", "mpppb-1a", "srrip")
+
+# Pinned on the tiny reference workload below.  Cold cache, warm
+# cache, serial, parallel, and artifacts-off must all reproduce them.
+SINGLE_HASH = "4f06a70f16f97bdb76676eef33c124e3b8115326498dff212deb7fd617cd5e75"
+MIX_HASH = "bec8c2cfa975ef0b8cfff1a87c8ff4cb3e5bd2ef307d006b6c0d7e34e3c9426b"
+
+
+def _single_cells():
+    return [
+        SingleCell(
+            trace=TraceSpec(benchmark, TINY.hierarchy.llc_bytes, ACCESSES),
+            policy=policy,
+            hierarchy=TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        for policy in POLICIES
+        for benchmark in BENCHMARKS
+    ]
+
+
+def _mix_cells():
+    suite_spec = SuiteSpec(TINY.hierarchy.llc_bytes, ACCESSES)
+    suite = build_suite(TINY.hierarchy.llc_bytes, ACCESSES)
+    segments = [s for name in sorted(suite) for s in suite[name]]
+    mixes = generate_mixes(segments, 2)
+    return [
+        MixCell(
+            suite=suite_spec,
+            mix_name=mix.name,
+            segment_names=tuple(s.name for s in mix.segments),
+            policy="lru",
+            hierarchy=TINY.multi_hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        for mix in mixes
+    ]
+
+
+def _hashes(engine):
+    singles = engine.run(_single_cells(), label="pin/single")
+    mixes = engine.run(_mix_cells(), label="pin/mix")
+    return (
+        stable_hash({"results": [r.to_dict() for r in singles]}),
+        stable_hash({"results": [r.to_dict() for r in mixes]}),
+    )
+
+
+def _assert_pinned(engine):
+    single_hash, mix_hash = _hashes(engine)
+    assert single_hash == SINGLE_HASH
+    assert mix_hash == MIX_HASH
+
+
+class TestPinnedHashes:
+    def test_serial_no_store(self):
+        _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
+
+    def test_parallel_no_store(self):
+        _assert_pinned(ParallelRunner(jobs=2, store=None, verbose=False))
+
+    def test_cold_then_warm_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        # Cold: every cell computes, artifacts are written.
+        _assert_pinned(ParallelRunner(jobs=1, store=store, verbose=False))
+        # Warm results: every cell replays from the result cache.
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        _assert_pinned(engine)
+        assert engine.last_report.hits == engine.last_report.cells
+
+    def test_warm_artifacts_cold_results(self, tmp_path):
+        """Results recompute from cached trace/Stage-1 artifacts."""
+        from repro.exec import runner as exec_runner
+
+        store = ResultStore(tmp_path / "cache")
+        _assert_pinned(ParallelRunner(jobs=1, store=store, verbose=False))
+        # Drop the result blobs but keep artifacts; clear in-process
+        # memos so Stage 1 genuinely reloads from disk.
+        for blob in list(store.root.glob("??/*.json")):
+            blob.unlink()
+        exec_runner._SEGMENTS.clear()
+        exec_runner._RUNNERS.clear()
+        exec_runner._ARTIFACTS.clear()
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        _assert_pinned(engine)
+        assert engine.last_report.hits == 0
+
+    def test_artifacts_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "off")
+        store = ResultStore(tmp_path / "cache")
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        assert engine.artifact_root is None
+        _assert_pinned(engine)
+
+    @pytest.mark.parametrize("pipeline", ["fused", "legacy"])
+    def test_both_feature_pipelines(self, pipeline, monkeypatch):
+        monkeypatch.setenv("REPRO_FEATURE_PIPELINE", pipeline)
+        _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))

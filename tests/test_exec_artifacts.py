@@ -1,0 +1,217 @@
+"""Tests for the binary trace/Stage-1 artifact cache.
+
+Covers the framing format (round trips, corruption tolerance, endian
+field), the :class:`ResultStore` raw-bytes interface, the artifact
+hit counters surfaced in :class:`ExecReport`, and the monotonic
+eviction order of the store's LRU log.
+"""
+
+import os
+
+from repro.config import TINY
+from repro.exec import ParallelRunner, SingleCell, TraceSpec
+from repro.exec import runner as exec_runner
+from repro.exec.artifacts import (
+    MAGIC,
+    ArtifactCache,
+    pack_artifact,
+    pack_segments,
+    pack_upper,
+    stage1_key,
+    trace_key,
+    unpack_artifact,
+    unpack_segments,
+    unpack_upper,
+)
+from repro.exec.store import ResultStore
+from repro.sim.hierarchy import UpperLevels
+from repro.traces.workloads import build_segments
+
+ACCESSES = 1_500
+
+
+def _segments(benchmark="gamess"):
+    return build_segments(benchmark, TINY.hierarchy.llc_bytes, ACCESSES)
+
+
+def _upper(segment):
+    return UpperLevels(TINY.hierarchy).run(segment.trace)
+
+
+class TestFraming:
+    def test_artifact_round_trip(self):
+        scalars = {"alpha": 3, "beta": "x"}
+        arrays = [("a", "Q", [1, 2, 3]), ("b", "B", [0, 1])]
+        blob = pack_artifact("demo", scalars, arrays)
+        assert blob.startswith(MAGIC)
+        unpacked = unpack_artifact(blob, "demo")
+        assert unpacked is not None
+        got_scalars, got_arrays = unpacked
+        assert got_scalars == scalars
+        assert got_arrays["a"].tolist() == [1, 2, 3]
+        assert got_arrays["b"].tolist() == [0, 1]
+
+    def test_kind_mismatch_is_a_miss(self):
+        blob = pack_artifact("demo", {}, {})
+        assert unpack_artifact(blob, "other") is None
+
+    def test_corruption_is_a_miss(self):
+        blob = pack_artifact("demo", {"n": 1}, {})
+        assert unpack_artifact(b"", "demo") is None
+        assert unpack_artifact(b"XXXX" + blob[4:], "demo") is None
+        assert unpack_artifact(blob[:-1], "demo") is None
+        assert unpack_artifact(blob + b"\x00", "demo") is None
+
+    def test_segments_round_trip(self):
+        segments = _segments("soplex")
+        restored = unpack_segments(pack_segments(segments))
+        assert restored is not None
+        assert len(restored) == len(segments)
+        for got, want in zip(restored, segments):
+            assert got.name == want.name
+            assert got.weight == want.weight
+            assert got.trace.pcs == want.trace.pcs
+            assert got.trace.addresses == want.trace.addresses
+            assert got.trace.writes == want.trace.writes
+            assert got.trace.gaps == want.trace.gaps
+            assert got.trace.deps == want.trace.deps
+
+    def test_upper_round_trip(self):
+        segment = _segments("soplex")[0]
+        upper = _upper(segment)
+        restored = unpack_upper(pack_upper(upper))
+        assert restored is not None
+        assert restored.num_instructions == upper.num_instructions
+        assert restored.l1_hits == upper.l1_hits
+        assert restored.l2_misses == upper.l2_misses
+        assert restored.prefetches_issued == upper.prefetches_issued
+        assert restored.service == upper.service
+        assert restored.instr_indices == upper.instr_indices
+        assert len(restored.llc_stream) == len(upper.llc_stream)
+        for got, want in zip(restored.llc_stream, upper.llc_stream):
+            assert got == want
+
+    def test_keys_distinguish_payloads(self):
+        base = {"benchmark": "gamess", "llc_bytes": 1, "accesses": 2}
+        assert trace_key(base) != trace_key({**base, "accesses": 3})
+        scope = {"llc_bytes": 1, "accesses": 2, "seed": 3}
+        hierarchy = {"llc_ways": 16}
+        key = stage1_key(scope, "gamess/0", hierarchy, True)
+        assert key != stage1_key(scope, "gamess/1", hierarchy, True)
+        assert key != stage1_key(scope, "gamess/0", hierarchy, False)
+
+
+class TestStoreBytes:
+    def test_bytes_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_bytes("ab" * 32) is None
+        store.put_bytes("ab" * 32, b"\x01\x02")
+        assert store.get_bytes("ab" * 32) == b"\x01\x02"
+
+    def test_bytes_and_json_share_eviction(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        store.put_bytes("aa" * 32, b"a")
+        store.put("bb" * 32, {"v": 1})
+        store.put_bytes("cc" * 32, b"c")
+        assert store.get_bytes("aa" * 32) is None  # oldest evicted
+        assert store.get_bytes("cc" * 32) == b"c"
+
+    def test_same_second_eviction_follows_insertion_order(self, tmp_path):
+        """mtime granularity must not scramble LRU under fast writes.
+
+        All three blobs land within the same second; the insertion log
+        (not mtime) must decide which one is oldest.  Force identical
+        mtimes to simulate a coarse-granularity filesystem.
+        """
+        store = ResultStore(tmp_path, max_entries=2)
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        store.put_bytes(keys[0], b"0")
+        store.put_bytes(keys[1], b"1")
+        stamp = os.stat(store._bin_path(keys[0])).st_mtime
+        for key in keys[:2]:
+            os.utime(store._bin_path(key), (stamp, stamp))
+        store.put_bytes(keys[2], b"2")
+        os.utime(store._bin_path(keys[2]), (stamp, stamp))
+        assert store.get_bytes(keys[0]) is None
+        assert store.get_bytes(keys[1]) == b"1"
+        assert store.get_bytes(keys[2]) == b"2"
+
+    def test_touch_refreshes_log_order(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        store.put_bytes(keys[0], b"0")
+        store.put_bytes(keys[1], b"1")
+        store.get_bytes(keys[0])  # refresh: key 1 is now the LRU
+        store.put_bytes(keys[2], b"2")
+        assert store.get_bytes(keys[1]) is None
+        assert store.get_bytes(keys[0]) == b"0"
+
+
+class TestArtifactCache:
+    def test_segment_store_hit_and_miss(self, tmp_path):
+        cache = ArtifactCache(ResultStore(tmp_path))
+        payload = {"benchmark": "gamess",
+                   "llc_bytes": TINY.hierarchy.llc_bytes,
+                   "accesses": ACCESSES, "seed": 2017}
+        assert cache.load_segments(payload) is None
+        assert cache.stats.trace_misses == 1
+        segments = _segments()
+        cache.store_segments(payload, segments)
+        loaded = cache.load_segments(payload)
+        assert cache.stats.trace_hits == 1
+        assert [s.name for s in loaded] == [s.name for s in segments]
+
+    def test_stage1_store_round_trip(self, tmp_path):
+        cache = ArtifactCache(ResultStore(tmp_path))
+        scope = {"llc_bytes": TINY.hierarchy.llc_bytes,
+                 "accesses": ACCESSES, "seed": 2017}
+        store = cache.stage1_store(scope, TINY.hierarchy, True)
+        segment = _segments()[0]
+        assert store.load(segment) is None
+        upper = _upper(segment)
+        store.save(segment, upper)
+        loaded = store.load(segment)
+        assert loaded is not None
+        assert loaded.llc_stream == upper.llc_stream
+        assert cache.stats.stage1_hits == 1
+        assert cache.stats.stage1_misses == 1
+
+
+class TestReportCounters:
+    def _cell(self, policy):
+        return SingleCell(
+            trace=TraceSpec("gamess", TINY.hierarchy.llc_bytes, ACCESSES),
+            policy=policy,
+            hierarchy=TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+
+    def test_warm_artifacts_counted_in_report(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        engine.run([self._cell("lru")], label="cold")
+        cold = engine.last_report
+        assert cold.trace_misses == 1
+        assert cold.stage1_misses == 1
+        assert cold.trace_hits == cold.stage1_hits == 0
+        # A different policy misses the result cache; with the
+        # in-process memos cleared (as in a fresh worker) the shared
+        # stages must come from the artifact cache.
+        exec_runner._SEGMENTS.clear()
+        exec_runner._RUNNERS.clear()
+        exec_runner._ARTIFACTS.clear()
+        engine.run([self._cell("srrip")], label="warm")
+        warm = engine.last_report
+        assert warm.trace_hits == 1
+        assert warm.stage1_hits == 1
+        assert warm.trace_misses == warm.stage1_misses == 0
+        assert "artifacts:" in warm.summary()
+
+    def test_result_cache_hits_skip_artifacts(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        engine.run([self._cell("lru")], label="cold")
+        engine.run([self._cell("lru")], label="replay")
+        replay = engine.last_report
+        assert replay.hits == 1
+        assert replay.artifact_lookups == 0
