@@ -134,7 +134,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     engine = _engine(args)
     evaluator = FeatureSetEvaluator.from_spec(
         spec, scale.hierarchy, warmup_fraction=scale.warmup_fraction,
-        executor=engine,
+        executor=engine, batch_size=args.batch_size,
     )
     candidates = random_search(evaluator, args.candidates, seed=args.seed)
     if engine.last_report is not None:
@@ -241,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--candidates", type=int, default=10)
     search.add_argument("--steps", type=int, default=10)
     search.add_argument("--seed", type=int, default=2017)
+    search.add_argument("--batch-size", type=int, default=None, metavar="K",
+                        help="candidates per shared-context Stage-2 replay "
+                             "(default: whole generation; "
+                             "REPRO_STAGE2_BATCH=off disables batching)")
     _add_scale(search)
     _add_exec(search)
     search.set_defaults(func=cmd_search)

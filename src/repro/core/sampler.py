@@ -87,19 +87,24 @@ class MultiperspectiveSampler:
         """Feed one LLC access; trains if ``set_idx`` is sampled."""
         sampler_idx = self.mapper.sampler_index(set_idx)
         if sampler_idx >= 0:
-            self._access(sampler_idx, ctx, indices, confidence)
+            self.access(sampler_idx, partial_tag(ctx.block, self.tag_bits),
+                        indices, confidence)
 
-    # -- internals -------------------------------------------------------
-
-    def _access(
+    def access(
         self,
         sampler_idx: int,
-        ctx: AccessContext,
+        tag: int,
         indices: List[int],
         confidence: int,
     ) -> None:
+        """One access to sampler set ``sampler_idx`` with a precomputed tag.
+
+        Split from :meth:`observe` so callers that already resolved the
+        sampler set and partial tag (the batched Stage-2 replay engine
+        shares both across candidates) skip redundant per-candidate
+        work.  All sampler state transitions and training live here.
+        """
         entries = self._sets[sampler_idx]
-        tag = partial_tag(ctx.block, self.tag_bits)
         hit_position = self._find(entries, tag)
         if hit_position is not None:
             entry = entries[hit_position]

@@ -126,3 +126,54 @@ class TimingModel:
                 last_completion = completion
         cycles = max(total_instructions / width, last_completion)
         return TimingResult(cycles=cycles, instructions=total_instructions)
+
+    def simulate_packed(
+        self,
+        instr_indices: Sequence[int],
+        latencies: Sequence[int],
+        depends: Sequence[bool],
+        total_instructions: int,
+    ) -> TimingResult:
+        """Column-input variant of :meth:`simulate`.
+
+        Takes the three event fields as parallel sequences (as produced
+        by :func:`repro.sim.single.demand_load_arrays`) instead of an
+        iterable of per-event records, skipping one tuple allocation
+        and two subscripts per load.  The accounting below must stay in
+        lockstep with :meth:`simulate` statement for statement — the
+        two are pinned bit-identical by ``tests/test_timing.py``.
+        """
+        width = self.config.width
+        window = self.config.window
+        mshr_limit = self.config.mshr_limit
+        llc_latency = self.config.llc_latency
+        in_flight: Deque[Tuple[int, float]] = deque()
+        mshrs: List[float] = []
+        retire_floor = 0.0
+        last_completion = 0.0
+        prev_load_completion = 0.0
+        for instr_index, latency, dep in zip(instr_indices, latencies,
+                                             depends):
+            boundary = instr_index - window
+            while in_flight and in_flight[0][0] <= boundary:
+                _, completion = in_flight.popleft()
+                if completion > retire_floor:
+                    retire_floor = completion
+            dispatch = instr_index / width
+            if retire_floor > dispatch:
+                dispatch = retire_floor
+            if dep and prev_load_completion > dispatch:
+                dispatch = prev_load_completion
+            if latency >= llc_latency:
+                while mshrs and mshrs[0] <= dispatch:
+                    heapq.heappop(mshrs)
+                if len(mshrs) >= mshr_limit:
+                    dispatch = max(dispatch, heapq.heappop(mshrs))
+                heapq.heappush(mshrs, dispatch + latency)
+            completion = dispatch + latency
+            in_flight.append((instr_index, completion))
+            prev_load_completion = completion
+            if completion > last_completion:
+                last_completion = completion
+        cycles = max(total_instructions / width, last_completion)
+        return TimingResult(cycles=cycles, instructions=total_instructions)

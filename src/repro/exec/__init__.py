@@ -14,6 +14,7 @@ from repro.exec.progress import CellOutcome, ExecReport
 from repro.exec.runner import (
     MixCell,
     ParallelRunner,
+    SearchBatchCell,
     SearchCell,
     SingleCell,
     SuiteSpec,
@@ -32,6 +33,7 @@ __all__ = [
     "ExecReport",
     "MixCell",
     "ParallelRunner",
+    "SearchBatchCell",
     "SearchCell",
     "SingleCell",
     "SuiteSpec",

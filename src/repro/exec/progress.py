@@ -47,6 +47,11 @@ class ExecReport:
     trace_misses: int = 0
     stage1_hits: int = 0
     stage1_misses: int = 0
+    # Shared-context Stage-2 replays (repro.sim.batch): ``batches``
+    # counts batch cells executed, ``batched`` the candidates they
+    # covered.  Zero for per-candidate runs.
+    batches: int = 0
+    batched: int = 0
 
     @property
     def cells(self) -> int:
@@ -97,6 +102,8 @@ class ExecReport:
                 f"stage1 {self.stage1_hits}/"
                 f"{self.stage1_hits + self.stage1_misses}"
             )
+        if self.batches:
+            line += f"  batched={self.batched}/{self.batches} replays"
         return line
 
     def table(self) -> str:

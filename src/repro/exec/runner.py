@@ -451,7 +451,63 @@ class SearchCell:
         return float(payload)
 
 
-Cell = Union[SingleCell, MixCell, SearchCell]
+@dataclass(frozen=True)
+class SearchBatchCell:
+    """K feature-search candidates resolved by one shared-context replay.
+
+    An execution grouping, not a cache unit: results are stored and
+    looked up per candidate under the corresponding
+    :class:`SearchCell` keys (see
+    :meth:`ParallelRunner.run_search_batches`), so batched and
+    per-candidate runs share the on-disk cache freely.  Evaluation
+    itself goes through
+    :meth:`~repro.search.evaluator.FeatureSetEvaluator.evaluate_batch`,
+    i.e. the :class:`~repro.sim.batch.BatchLLCSimulator` engine.
+    """
+
+    suite: SuiteSpec
+    feature_sets: Tuple[Tuple[Feature, ...], ...]
+    hierarchy: HierarchyConfig
+    base_config: Optional[MPPPBConfig] = None
+    prefetch: bool = True
+    warmup_fraction: float = 0.25
+
+    kind: ClassVar[str] = "search-batch"
+
+    def label(self) -> str:
+        digest = stable_hash(
+            {"f": [[f.spec() for f in fs] for fs in self.feature_sets]})
+        return f"search-batch/{len(self.feature_sets)}c/{digest[:8]}"
+
+    def key_payload(self) -> Dict[str, Any]:
+        """Identity payload (task seeding); never used as a store key."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "suite": self.suite.payload(),
+            "feature_sets": [[feature.spec() for feature in features]
+                             for features in self.feature_sets],
+            "base": (None if self.base_config is None
+                     else mpppb_payload(self.base_config)),
+            "hierarchy": hierarchy_payload(self.hierarchy),
+            "prefetch": self.prefetch,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    def run(self, artifacts: Optional[ArtifactCache] = None) -> List[float]:
+        evaluator = _search_evaluator(self.suite, self.hierarchy,
+                                      self.base_config, self.prefetch,
+                                      self.warmup_fraction, artifacts)
+        return evaluator.evaluate_batch(self.feature_sets)
+
+    def encode(self, result: List[float]) -> List[float]:
+        return list(result)
+
+    def decode(self, payload: Sequence[float]) -> List[float]:
+        return [float(value) for value in payload]
+
+
+Cell = Union[SingleCell, MixCell, SearchCell, SearchBatchCell]
 
 
 def _execute_cell(cell: Cell, key: str,
@@ -570,6 +626,130 @@ class ParallelRunner:
             trace_misses=artifact_counts.get("trace_misses", 0),
             stage1_hits=artifact_counts.get("stage1_hits", 0),
             stage1_misses=artifact_counts.get("stage1_misses", 0),
+        )
+        if self.verbose:
+            print(self.last_report.table())
+        return results
+
+    def run_search_batches(self, cells: Sequence[SearchCell],
+                           batch_size: Optional[int] = None,
+                           label: str = "") -> List[float]:
+        """Resolve search cells via shared-context batch replays.
+
+        Cache lookups and writes stay *per candidate*, under each
+        cell's own ``search`` key, so results computed here serve later
+        :meth:`run` calls and vice versa — the batch grouping is purely
+        an execution strategy.  Misses are grouped by evaluation scope
+        (suite, hierarchy, base config, prefetch, warmup), chunked into
+        :class:`SearchBatchCell` tasks of at most ``batch_size``
+        candidates (``None`` = one batch per scope), and fanned out
+        like any other cells; singleton chunks run as plain cells.
+        """
+        started = time.perf_counter()
+        results: List[Any] = [None] * len(cells)
+        outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        pending: List[Tuple[int, str, SearchCell]] = []
+
+        for index, cell in enumerate(cells):
+            key = stable_hash(cell.key_payload())
+            payload = self.store.get(key) if self.store is not None else None
+            if payload is not None and payload.get("kind") == cell.kind:
+                results[index] = cell.decode(payload["result"])
+                outcomes[index] = CellOutcome(cell.label(), key, True, 0.0)
+            else:
+                pending.append((index, key, cell))
+
+        groups: Dict[str, List[Tuple[int, str, SearchCell]]] = {}
+        for item in pending:
+            cell = item[2]
+            scope = stable_hash({
+                "suite": cell.suite.payload(),
+                "hierarchy": hierarchy_payload(cell.hierarchy),
+                "base": (None if cell.base_config is None
+                         else mpppb_payload(cell.base_config)),
+                "prefetch": cell.prefetch,
+                "warmup_fraction": cell.warmup_fraction,
+            })
+            groups.setdefault(scope, []).append(item)
+
+        Chunk = List[Tuple[int, str, SearchCell]]
+        tasks: List[Tuple[Cell, str, Chunk]] = []
+        for members in groups.values():
+            size = batch_size or len(members)
+            for start in range(0, len(members), size):
+                chunk = members[start:start + size]
+                if len(chunk) == 1:
+                    _, key, cell = chunk[0]
+                    tasks.append((cell, key, chunk))
+                    continue
+                first = chunk[0][2]
+                batch_cell = SearchBatchCell(
+                    suite=first.suite,
+                    feature_sets=tuple(cell.features
+                                       for _, _, cell in chunk),
+                    hierarchy=first.hierarchy,
+                    base_config=first.base_config,
+                    prefetch=first.prefetch,
+                    warmup_fraction=first.warmup_fraction,
+                )
+                tasks.append((batch_cell,
+                              stable_hash(batch_cell.key_payload()), chunk))
+
+        artifact_counts: Dict[str, int] = {}
+        batches = 0
+        batched = 0
+
+        def settle(exec_cell: Cell, chunk: Chunk, result: Any,
+                   seconds: float, delta: Dict[str, int]) -> None:
+            nonlocal batches, batched
+            for name, count in delta.items():
+                artifact_counts[name] = artifact_counts.get(name, 0) + count
+            if isinstance(exec_cell, SearchBatchCell):
+                batches += 1
+                batched += len(chunk)
+                share = seconds / len(chunk)
+                per_candidate = zip(chunk, result)
+            else:
+                share = seconds
+                per_candidate = zip(chunk, [result])
+            for (index, key, cell), value in per_candidate:
+                results[index] = value
+                outcomes[index] = CellOutcome(cell.label(), key, False,
+                                              share)
+                if self.store is not None:
+                    self.store.put(key, {"kind": cell.kind,
+                                         "result": cell.encode(value)})
+
+        workers = min(self.jobs, len(tasks))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, exec_cell, exec_key,
+                                self.artifact_root): (exec_cell, chunk)
+                    for exec_cell, exec_key, chunk in tasks
+                }
+                for future in as_completed(futures):
+                    exec_cell, chunk = futures[future]
+                    result, seconds, delta = future.result()
+                    settle(exec_cell, chunk, result, seconds, delta)
+        else:
+            for exec_cell, exec_key, chunk in tasks:
+                result, seconds, delta = _execute_cell(exec_cell, exec_key,
+                                                       self.artifact_root)
+                settle(exec_cell, chunk, result, seconds, delta)
+
+        self.last_report = ExecReport(
+            outcomes=tuple(outcome for outcome in outcomes
+                           if outcome is not None),
+            wall_seconds=time.perf_counter() - started,
+            jobs=self.jobs,
+            label=label,
+            trace_hits=artifact_counts.get("trace_hits", 0),
+            trace_misses=artifact_counts.get("trace_misses", 0),
+            stage1_hits=artifact_counts.get("stage1_hits", 0),
+            stage1_misses=artifact_counts.get("stage1_misses", 0),
+            batches=batches,
+            batched=batched,
         )
         if self.verbose:
             print(self.last_report.table())

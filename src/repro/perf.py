@@ -19,6 +19,18 @@ Report schema (``REPORT_SCHEMA``)::
           "<policy>": {"fused": float, "legacy": float}
         }
       },
+      "search-batch": {           # K-candidate evaluation, both engines
+        "k": int, "segments": int, "accesses": int,
+        "sequential_s": float,    # REPRO_STAGE2_BATCH=off (per candidate)
+        "batched_s": float,       # shared-context batch replay
+        "speedup": float          # sequential_s / batched_s
+      },
+      "timing": {                 # Stage 3 alone, scalar vs vectorized
+        "benchmark": str, "loads": int,
+        "scalar_s": float,        # generator events + simulate()
+        "vector_s": float|null,   # numpy fill + simulate_packed()
+        "speedup": float|null
+      },
       "compare": {                # end-to-end engine compare
         "benchmarks": [...], "policies": [...],
         "cold_s": float,          # empty artifact cache, empty memos
@@ -28,10 +40,10 @@ Report schema (``REPORT_SCHEMA``)::
     }
 
 All timings are best-of-``repeats`` wall seconds: minimums are far more
-stable than means on shared CI runners.  The fused-vs-legacy gate
-(:func:`check_report`) only inspects policies that actually use the
-feature pipeline (``mpppb*``); for everything else the two paths are
-the same code.
+stable than means on shared CI runners.  :func:`check_report` gates two
+strength reductions that must never regress: fused-vs-legacy Stage 2
+(``mpppb*`` policies only — nothing else uses the feature pipeline) and
+batched-vs-sequential candidate evaluation.
 """
 
 from __future__ import annotations
@@ -49,7 +61,7 @@ from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
 from repro.traces.workloads import build_segments
 
-REPORT_SCHEMA = 1
+REPORT_SCHEMA = 2
 DEFAULT_REPORT = "BENCH_hotpath.json"
 DEFAULT_POLICIES = ("lru", "srrip", "mpppb-1a")
 # Cache-friendly workloads whose LLC streams are short: the shared
@@ -68,17 +80,22 @@ def _best_of(repeats: int, fn) -> float:
 
 
 @contextmanager
-def _pipeline(name: str):
-    """Pin ``REPRO_FEATURE_PIPELINE`` for the duration of a timing."""
-    old = os.environ.get("REPRO_FEATURE_PIPELINE")
-    os.environ["REPRO_FEATURE_PIPELINE"] = name
+def _env(name: str, value: str):
+    """Pin one environment knob for the duration of a timing."""
+    old = os.environ.get(name)
+    os.environ[name] = value
     try:
         yield
     finally:
         if old is None:
-            del os.environ["REPRO_FEATURE_PIPELINE"]
+            del os.environ[name]
         else:
-            os.environ["REPRO_FEATURE_PIPELINE"] = old
+            os.environ[name] = old
+
+
+def _pipeline(name: str):
+    """Pin ``REPRO_FEATURE_PIPELINE`` for the duration of a timing."""
+    return _env("REPRO_FEATURE_PIPELINE", name)
 
 
 # -- stage micro-benchmarks ------------------------------------------------
@@ -123,6 +140,148 @@ def bench_hotpath(scale: ReproScale, benchmark: str,
         "stage1_s": round(stage1_s, 6),
         "stage2": {p: {k: round(v, 6) for k, v in t.items()}
                    for p, t in stage2.items()},
+    }
+
+
+# -- batched candidate evaluation (search hot path) ------------------------
+
+
+def bench_search_batch(scale: ReproScale, repeats: int,
+                       k: int = 8) -> Dict[str, Any]:
+    """Time a K-candidate evaluation, per-candidate vs batch replay.
+
+    Mirrors the ``search`` command's workload (three benchmarks at a
+    quarter of the scale's accesses) and candidate shape (a Table 1a
+    base plus distinct single-feature perturbations — exactly a
+    hill-climb neighborhood).  Stage 1 is pre-warmed and the MPKI memo
+    cleared before every repetition, so the two timings isolate the
+    Stage-2/3 evaluation engines the ``REPRO_STAGE2_BATCH`` knob picks
+    between.
+    """
+    import random
+
+    from repro.core.features import parse_feature_set, perturb_feature
+    from repro.core.presets import TABLE_1A_SPECS
+    from repro.search.evaluator import FeatureSetEvaluator
+    from repro.traces.workloads import all_segments
+
+    accesses = max(2_000, scale.segment_accesses // 4)
+    segments = all_segments(scale.hierarchy.llc_bytes, accesses,
+                            names=["gamess", "lbm", "soplex"])
+    evaluator = FeatureSetEvaluator(segments, scale.hierarchy,
+                                    warmup_fraction=scale.warmup_fraction)
+    for segment in segments:
+        evaluator.runner.upper_result(segment)
+
+    rng = random.Random(2017)
+    base = list(parse_feature_set(TABLE_1A_SPECS))
+    candidates = [tuple(base)]
+    seen = {tuple(feature.spec() for feature in base)}
+    while len(candidates) < k:
+        mutated = list(base)
+        victim = rng.randrange(len(mutated))
+        mutated[victim] = perturb_feature(mutated[victim], rng)
+        spec = tuple(feature.spec() for feature in mutated)
+        if spec in seen:
+            continue
+        seen.add(spec)
+        candidates.append(tuple(mutated))
+
+    def evaluate() -> None:
+        evaluator._cache.clear()
+        evaluator.evaluate_many(candidates)
+
+    with _env("REPRO_STAGE2_BATCH", "off"):
+        sequential_s = _best_of(repeats, evaluate)
+    with _env("REPRO_STAGE2_BATCH", "on"):
+        batched_s = _best_of(repeats, evaluate)
+    return {
+        "k": len(candidates),
+        "segments": len(segments),
+        "accesses": accesses,
+        "sequential_s": round(sequential_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": (round(sequential_s / batched_s, 3)
+                    if batched_s > 0 else float("inf")),
+    }
+
+
+# -- Stage-3 timing model (scalar vs vectorized events) --------------------
+
+
+def bench_timing(scale: ReproScale, benchmark: str,
+                 repeats: int) -> Dict[str, Any]:
+    """Time Stage 3 alone over one segment's real LRU outcomes.
+
+    ``scalar_s`` runs the :func:`~repro.sim.single.demand_load_events`
+    generator into :meth:`~repro.cpu.timing.TimingModel.simulate`;
+    ``vector_s`` fills the shared numpy event skeleton
+    (:func:`~repro.sim.single.demand_load_arrays`) and runs
+    :meth:`~repro.cpu.timing.TimingModel.simulate_packed` — the
+    steady-state per-policy cost, since the skeleton itself is built
+    once per segment.  ``vector_s`` is ``None`` without numpy.
+    """
+    from repro.cpu.timing import TimingModel
+    from repro.policies import policy_factory
+    from repro.sim.llc import LLCSimulator
+    from repro.sim.single import (
+        build_stage3_events,
+        demand_load_arrays,
+        demand_load_events,
+        stage3_vector_enabled,
+    )
+
+    hierarchy = scale.hierarchy
+    segment = build_segments(benchmark, hierarchy.llc_bytes,
+                             scale.segment_accesses)[0]
+    runner = SingleThreadRunner(hierarchy,
+                                warmup_fraction=scale.warmup_fraction)
+    upper = runner.upper_result(segment)
+    trace = segment.trace
+    warm_mem = int(len(trace.pcs) * scale.warmup_fraction)
+    warm_llc = upper.llc_warmup_boundary(warm_mem)
+
+    num_sets = hierarchy.llc_bytes // (hierarchy.llc_ways
+                                       * hierarchy.block_bytes)
+    policy = policy_factory("lru", None)(num_sets, hierarchy.llc_ways)
+    sim = LLCSimulator(hierarchy.llc_bytes, hierarchy.llc_ways, policy,
+                       hierarchy.block_bytes)
+    outcomes = sim.run(upper.llc_stream, pc_trace=trace.pcs,
+                       warmup=warm_llc).outcomes
+
+    timing = runner.timing
+    model = TimingModel(timing)
+    measured_instr = upper.num_instructions - (
+        upper.instr_indices[warm_mem] if warm_mem < len(trace.pcs) else 0
+    )
+
+    scalar_s = _best_of(repeats, lambda: model.simulate(
+        demand_load_events(trace, upper, outcomes, timing,
+                           start_mem=warm_mem),
+        measured_instr,
+    ))
+
+    vector_s = loads = None
+    with _env("REPRO_STAGE3_VECTOR", "on"):
+        if stage3_vector_enabled():
+            events = build_stage3_events(trace, upper, timing,
+                                         start_mem=warm_mem)
+            loads = len(events.instr)
+
+            def vector() -> None:
+                instr, latencies, depends = demand_load_arrays(
+                    events, outcomes, timing)
+                model.simulate_packed(instr, latencies, depends,
+                                      measured_instr)
+
+            vector_s = round(_best_of(repeats, vector), 6)
+    return {
+        "benchmark": benchmark,
+        "loads": loads,
+        "scalar_s": round(scalar_s, 6),
+        "vector_s": vector_s,
+        "speedup": (round(scalar_s / vector_s, 3)
+                    if vector_s else None),
     }
 
 
@@ -205,6 +364,8 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
         "accesses": scale.segment_accesses,
         "repeats": repeats,
         "hotpath": bench_hotpath(scale, benchmark, policies, repeats),
+        "search-batch": bench_search_batch(scale, repeats),
+        "timing": bench_timing(scale, benchmark, repeats),
     }
     if cache_root is None:
         with tempfile.TemporaryDirectory() as tmp:
@@ -218,11 +379,16 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
 
 def check_report(report: Dict[str, Any],
                  tolerance: float = 1.0) -> List[str]:
-    """Regression gate: fused Stage-2 must not be slower than legacy.
+    """Regression gate on the report's strength reductions.
 
-    Only ``mpppb*`` policies are gated — they are the only consumers of
-    the feature pipeline, so for other policies fused-vs-legacy is pure
-    timer noise.  Returns a list of failure messages (empty = pass).
+    * Fused Stage 2 must not be slower than legacy.  Only ``mpppb*``
+      policies are gated — they are the only consumers of the feature
+      pipeline, so for other policies fused-vs-legacy is pure timer
+      noise.
+    * Batched K-candidate evaluation must not be slower than K
+      per-candidate replays.
+
+    Returns a list of failure messages (empty = pass).
     """
     failures: List[str] = []
     for policy, timings in report["hotpath"]["stage2"].items():
@@ -233,6 +399,15 @@ def check_report(report: Dict[str, Any],
             failures.append(
                 f"{policy}: fused stage-2 {fused:.4f}s slower than "
                 f"legacy {legacy:.4f}s (tolerance x{tolerance})"
+            )
+    batch = report.get("search-batch")
+    if batch is not None:
+        sequential, batched = batch["sequential_s"], batch["batched_s"]
+        if batched > sequential * tolerance:
+            failures.append(
+                f"search-batch: batched {batch['k']}-candidate evaluation "
+                f"{batched:.4f}s slower than sequential {sequential:.4f}s "
+                f"(tolerance x{tolerance})"
             )
     return failures
 
@@ -250,6 +425,28 @@ def format_report(report: Dict[str, Any]) -> str:
         ratio = legacy / fused if fused > 0 else float("inf")
         lines.append(f"  stage 2 {policy:12s} fused {fused:8.4f}s   "
                      f"legacy {legacy:8.4f}s   ({ratio:.2f}x)")
+    batch = report.get("search-batch")
+    if batch is not None:
+        lines.append(
+            f"  search  {batch['k']} candidates x {batch['segments']} "
+            f"segments: sequential {batch['sequential_s']:.4f}s  "
+            f"batched {batch['batched_s']:.4f}s  "
+            f"({batch['speedup']:.2f}x)"
+        )
+    stage3 = report.get("timing")
+    if stage3 is not None:
+        if stage3["vector_s"] is not None:
+            lines.append(
+                f"  stage 3 {stage3['benchmark']:12s} "
+                f"scalar {stage3['scalar_s']:8.4f}s   "
+                f"vector {stage3['vector_s']:8.4f}s   "
+                f"({stage3['speedup']:.2f}x)"
+            )
+        else:
+            lines.append(
+                f"  stage 3 {stage3['benchmark']:12s} "
+                f"scalar {stage3['scalar_s']:8.4f}s   (numpy unavailable)"
+            )
     cmp_ = report["compare"]
     lines.append(
         f"  compare {len(cmp_['policies'])} policies x "

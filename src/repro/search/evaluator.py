@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.features import Feature
 from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.sim.batch import stage2_batch_enabled
 from repro.sim.hierarchy import HierarchyConfig
 from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
@@ -43,9 +44,12 @@ class FeatureSetEvaluator:
         executor: Optional["ParallelRunner"] = None,
         spec: Optional["SuiteSpec"] = None,
         stage1_store=None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if not segments:
             raise ValueError("evaluator needs at least one segment")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.segments = list(segments)
         self.hierarchy = hierarchy
         self.base_config = base_config
@@ -57,6 +61,9 @@ class FeatureSetEvaluator:
         )
         self.executor = executor
         self.spec = spec
+        # Candidates per shared-context replay; None = whole generation
+        # in one batch.  Ignored when REPRO_STAGE2_BATCH=off.
+        self.batch_size = batch_size
         self.evaluations = 0
         self._cache: Dict[tuple, float] = {}
 
@@ -69,6 +76,7 @@ class FeatureSetEvaluator:
         warmup_fraction: float = 0.25,
         prefetch: bool = True,
         executor: Optional["ParallelRunner"] = None,
+        batch_size: Optional[int] = None,
     ) -> "FeatureSetEvaluator":
         """Build from a deterministic segment recipe so evaluations can
         be fanned out to worker processes (which rebuild identical
@@ -81,6 +89,7 @@ class FeatureSetEvaluator:
             prefetch=prefetch,
             executor=executor,
             spec=spec,
+            batch_size=batch_size,
         )
 
     def _config(self, features: Sequence[Feature]) -> MPPPBConfig:
@@ -99,6 +108,58 @@ class FeatureSetEvaluator:
         for segment in self.segments:
             total += self.runner.run_segment(segment, factory).mpki
         return total / len(self.segments)
+
+    def _evaluate_batch_local(
+        self, pending: List[Tuple[Feature, ...]]
+    ) -> None:
+        """Fill the memo for ``pending`` via shared-context replays.
+
+        Chunks of ``batch_size`` candidates (the whole list when None)
+        share one Stage-2 stream decode per segment; per-candidate MPKI
+        accumulates in the same segment order as
+        :meth:`_evaluate_local`, so values are bit-identical.
+        """
+        size = self.batch_size or len(pending)
+        for start in range(0, len(pending), size):
+            chunk = pending[start:start + size]
+            if len(chunk) == 1:
+                self._cache[chunk[0]] = self._evaluate_local(chunk[0])
+                self.evaluations += 1
+                continue
+            configs = [self._config(features) for features in chunk]
+            totals = [0.0] * len(chunk)
+            for segment in self.segments:
+                results = self.runner.run_segment_batch(segment, configs)
+                for k, result in enumerate(results):
+                    totals[k] += result.mpki
+            for key, total in zip(chunk, totals):
+                self._cache[key] = total / len(self.segments)
+                self.evaluations += 1
+
+    def evaluate_batch(
+        self, feature_sets: Sequence[Sequence[Feature]]
+    ) -> List[float]:
+        """In-process evaluation of a candidate batch; input order.
+
+        The shared-context engine handles unique uncached candidates
+        (when enabled and there is more than one); results land in the
+        in-memory memo exactly like :meth:`evaluate`'s.
+        """
+        keys = [tuple(features) for features in feature_sets]
+        pending: List[Tuple[Feature, ...]] = []
+        seen = set()
+        for key in keys:
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                pending.append(key)
+        if pending:
+            if stage2_batch_enabled() and len(pending) > 1:
+                self._evaluate_batch_local(pending)
+            else:
+                for key in pending:
+                    self._cache[key] = self._evaluate_local(key)
+                    self.evaluations += 1
+        return [self._cache[key] for key in keys]
 
     def evaluate(self, features: Sequence[Feature]) -> float:
         """Average demand MPKI of MPPPB built on ``features``."""
@@ -119,8 +180,11 @@ class FeatureSetEvaluator:
 
         With an attached executor (and a spec describing the segments),
         uncached candidates are fanned across worker processes and the
-        on-disk result cache; otherwise this is a serial loop over
-        :meth:`evaluate`.
+        on-disk result cache; otherwise they evaluate in process.
+        Either way, candidates that share a generation are grouped into
+        shared-context Stage-2 replays (:mod:`repro.sim.batch`) of at
+        most ``batch_size`` candidates unless ``REPRO_STAGE2_BATCH=off``
+        pins the sequential per-candidate path.
         """
         keys = [tuple(features) for features in feature_sets]
         unique_pending: List[Tuple[Feature, ...]] = []
@@ -144,13 +208,16 @@ class FeatureSetEvaluator:
                 )
                 for features in unique_pending
             ]
-            values = self.executor.run(cells, label="search")
+            if stage2_batch_enabled():
+                values = self.executor.run_search_batches(
+                    cells, batch_size=self.batch_size, label="search")
+            else:
+                values = self.executor.run(cells, label="search")
             for features, value in zip(unique_pending, values):
                 self._cache[features] = value
                 self.evaluations += 1
-        else:
-            for features in unique_pending:
-                self.evaluate(features)
+        elif unique_pending:
+            self.evaluate_batch(unique_pending)
 
         return [self._cache[key] for key in keys]
 

@@ -16,8 +16,9 @@ per workload and its output is reused for every policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.cache.access import PREFETCH_PC
 from repro.cache.cache import FastLRUCache
@@ -64,12 +65,29 @@ class UpperLevelResult:
     l2_misses: int
     prefetches_issued: int
 
+    # Lazily built sorted view of llc_stream's mem_index column, for
+    # the warmup-boundary binary search.  Excluded from init/compare:
+    # it is derived state, and the artifact (de)serializers construct
+    # results field-by-field (repro.exec.artifacts), never via asdict.
+    _mem_indices: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def llc_warmup_boundary(self, warm_mem_index: int) -> int:
-        """First LLC stream index at or after memory access ``warm_mem_index``."""
-        for index, access in enumerate(self.llc_stream):
-            if access.mem_index >= warm_mem_index:
-                return index
-        return len(self.llc_stream)
+        """First LLC stream index at or after memory access ``warm_mem_index``.
+
+        ``mem_index`` is non-decreasing along the stream (the hierarchy
+        driver appends in trace order, prefetches carrying the index of
+        their trigger), so the boundary is a binary search over a
+        per-result memoized index list — this runs once per policy per
+        segment and used to linearly rescan the whole stream each time.
+        """
+        indices = self._mem_indices
+        if indices is None:
+            self._mem_indices = indices = [
+                access.mem_index for access in self.llc_stream
+            ]
+        return bisect_left(indices, warm_mem_index)
 
 
 class UpperLevels:

@@ -14,10 +14,26 @@ relative to LRU and summarized by geometric mean.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # numpy backs the vectorized Stage-3 event builder; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.core.mpppb import MPPPBConfig
 from repro.cpu.timing import TimingConfig, TimingModel
 from repro.sim.hierarchy import (
     SERVICE_L1,
@@ -26,7 +42,7 @@ from repro.sim.hierarchy import (
     UpperLevelResult,
     UpperLevels,
 )
-from repro.sim.llc import LLCSimulator
+from repro.sim.llc import LLCResult, LLCSimulator
 from repro.traces.trace import Segment, Trace
 from repro.util.stats import mpki as mpki_of
 
@@ -96,12 +112,16 @@ def demand_load_events(
     outcomes: Sequence[bool],
     timing: TimingConfig,
     start_mem: int = 0,
-) -> Iterable[Tuple[int, int]]:
-    """Yield (instr_index, latency) per measured demand load.
+) -> Iterable[Tuple[int, int, bool]]:
+    """Yield ``(instr_index, latency, depends)`` per measured demand load.
 
-    Stores are non-blocking (no timing event); prefetch LLC accesses
-    are not instructions and never appear here — their effect is
-    already folded into the service levels.
+    ``instr_index`` is relative to the first measured instruction,
+    ``latency`` comes from the level that serviced the load, and
+    ``depends`` flags loads address-dependent on the previous load
+    (pointer chasing), which the timing model serializes.  Stores are
+    non-blocking (no timing event); prefetch LLC accesses are not
+    instructions and never appear here — their effect is already
+    folded into the service levels.
     """
     l1, l2 = timing.l1_latency, timing.l2_latency
     llc_hit, llc_miss = timing.llc_latency, timing.llc_miss_latency
@@ -121,6 +141,85 @@ def demand_load_events(
         else:
             latency = llc_hit if outcomes[level] else llc_miss
         yield instr_indices[mem_index] - base_instr, latency, deps[mem_index]
+
+
+def stage3_vector_enabled() -> bool:
+    """Vectorized Stage-3 selector: ``REPRO_STAGE3_VECTOR`` (default on).
+
+    Requires numpy; the scalar :func:`demand_load_events` generator is
+    the fallback and the two paths produce bit-identical IPC (integer
+    latencies and instruction counts divide identically in IEEE-754
+    float64 either way).
+    """
+    if _np is None:
+        return False
+    return os.environ.get("REPRO_STAGE3_VECTOR", "on").lower() not in (
+        "off", "0", "false", "no", "none")
+
+
+@dataclass
+class Stage3Events:
+    """Candidate-invariant skeleton of a segment's demand-load events.
+
+    Everything here depends only on the trace and the Stage-1 result:
+    the measured demand loads' relative instruction indices, their
+    dependence flags, base latencies for L1/L2-serviced loads, and the
+    positions/stream indices of LLC-serviced loads whose latency is
+    decided per policy by the Stage-2 outcomes.  Built once per
+    (segment, warmup) and reused for every candidate — K policies pay
+    one numpy fill each instead of K full Python event loops.
+    """
+
+    instr: List[int]
+    depends: List[bool]
+    base_latencies: Any   # numpy int64 array, one entry per load event
+    llc_positions: Any    # numpy indices into the event order
+    llc_stream_idx: Any   # matching indices into the LLC outcome list
+
+
+def build_stage3_events(
+    trace: Trace,
+    upper: UpperLevelResult,
+    timing: TimingConfig,
+    start_mem: int = 0,
+) -> Stage3Events:
+    """Vectorized equivalent of :func:`demand_load_events`' static part."""
+    service = _np.asarray(upper.service[start_mem:], dtype=_np.int64)
+    loads = ~_np.asarray(trace.writes[start_mem:], dtype=bool)
+    service = service[loads]
+    base_instr = (upper.instr_indices[start_mem]
+                  if start_mem < len(trace.pcs) else 0)
+    instr = _np.asarray(upper.instr_indices[start_mem:],
+                        dtype=_np.int64)[loads] - base_instr
+    depends = _np.asarray(trace.deps[start_mem:], dtype=bool)[loads]
+    latencies = _np.full(len(service), timing.l1_latency, dtype=_np.int64)
+    latencies[service == SERVICE_L2] = timing.l2_latency
+    llc_positions = _np.nonzero(service >= 0)[0]
+    return Stage3Events(
+        instr=instr.tolist(),
+        depends=depends.tolist(),
+        base_latencies=latencies,
+        llc_positions=llc_positions,
+        llc_stream_idx=service[llc_positions],
+    )
+
+
+def demand_load_arrays(
+    events: Stage3Events,
+    outcomes: Sequence[bool],
+    timing: TimingConfig,
+) -> Tuple[List[int], List[int], List[bool]]:
+    """Fill a policy's LLC latencies into the shared event skeleton.
+
+    Returns ``(instr_indices, latencies, depends)`` columns for
+    :meth:`~repro.cpu.timing.TimingModel.simulate_packed`, equal
+    element for element to iterating :func:`demand_load_events`.
+    """
+    latencies = events.base_latencies.copy()
+    hits = _np.asarray(outcomes, dtype=bool)[events.llc_stream_idx]
+    latencies[events.llc_positions] = _np.where(
+        hits, timing.llc_latency, timing.llc_miss_latency)
+    return events.instr, latencies.tolist(), events.depends
 
 
 class SingleThreadRunner:
@@ -143,6 +242,9 @@ class SingleThreadRunner:
         self.stage1_store = stage1_store
         self._upper = UpperLevels(hierarchy, prefetch=prefetch)
         self._stage1_cache: Dict[str, UpperLevelResult] = {}
+        # Candidate-invariant Stage-3 event skeletons, keyed by segment
+        # name (warmup fraction and timing are fixed per runner).
+        self._stage3_cache: Dict[str, Stage3Events] = {}
 
     # -- stage 1 ----------------------------------------------------------
 
@@ -182,14 +284,68 @@ class SingleThreadRunner:
         policy = policy_factory(num_sets, ways)
         sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
         llc = sim.run(upper.llc_stream, pc_trace=trace.pcs, warmup=warm_llc)
+        return self._finish_segment(segment, upper, llc, warm_mem)
 
-        events = demand_load_events(
-            trace, upper, llc.outcomes, self.timing, start_mem=warm_mem
-        )
+    def run_segment_batch(
+        self, segment: Segment, configs: Sequence[MPPPBConfig]
+    ) -> List[SegmentResult]:
+        """Stage 2+3 for K MPPPB candidates over one shared Stage-1 result.
+
+        Equivalent to K :meth:`run_segment` calls with MPPPB factories
+        (same results, bit for bit) but the stream decode and
+        candidate-invariant per-access context are paid once; see
+        :class:`repro.sim.batch.BatchLLCSimulator`.
+        """
+        from repro.core.mpppb import MPPPBPolicy
+        from repro.sim.batch import BatchLLCSimulator
+
+        upper = self.upper_result(segment)
+        trace = segment.trace
+        warm_mem = int(len(trace.pcs) * self.warmup_fraction)
+        warm_llc = upper.llc_warmup_boundary(warm_mem)
+
+        llc_bytes = self.hierarchy.llc_bytes
+        ways = self.hierarchy.llc_ways
+        num_sets = llc_bytes // (ways * self.hierarchy.block_bytes)
+        policies = [MPPPBPolicy(num_sets, ways, config) for config in configs]
+        sim = BatchLLCSimulator(llc_bytes, ways, policies,
+                                self.hierarchy.block_bytes)
+        replays = sim.run(upper.llc_stream, pc_trace=trace.pcs,
+                          warmup=warm_llc)
+        return [
+            self._finish_segment(segment, upper, llc, warm_mem)
+            for llc in replays
+        ]
+
+    def _stage3_events(self, segment: Segment, upper: UpperLevelResult,
+                       warm_mem: int) -> Stage3Events:
+        events = self._stage3_cache.get(segment.name)
+        if events is None:
+            events = build_stage3_events(segment.trace, upper, self.timing,
+                                         start_mem=warm_mem)
+            self._stage3_cache[segment.name] = events
+        return events
+
+    def _finish_segment(self, segment: Segment, upper: UpperLevelResult,
+                        llc: LLCResult, warm_mem: int) -> SegmentResult:
+        """Stage 3 + metric assembly shared by both Stage-2 paths."""
+        trace = segment.trace
         measured_instr = upper.num_instructions - (
             upper.instr_indices[warm_mem] if warm_mem < len(trace.pcs) else 0
         )
-        timing_result = TimingModel(self.timing).simulate(events, measured_instr)
+        model = TimingModel(self.timing)
+        if stage3_vector_enabled():
+            instr, latencies, depends = demand_load_arrays(
+                self._stage3_events(segment, upper, warm_mem),
+                llc.outcomes, self.timing,
+            )
+            timing_result = model.simulate_packed(
+                instr, latencies, depends, measured_instr)
+        else:
+            events = demand_load_events(
+                trace, upper, llc.outcomes, self.timing, start_mem=warm_mem
+            )
+            timing_result = model.simulate(events, measured_instr)
         return SegmentResult(
             segment_name=segment.name,
             weight=segment.weight,

@@ -31,6 +31,10 @@ POLICIES = ("lru", "mpppb-1a", "srrip")
 # cache, serial, parallel, and artifacts-off must all reproduce them.
 SINGLE_HASH = "4f06a70f16f97bdb76676eef33c124e3b8115326498dff212deb7fd617cd5e75"
 MIX_HASH = "bec8c2cfa975ef0b8cfff1a87c8ff4cb3e5bd2ef307d006b6c0d7e34e3c9426b"
+# Feature-search pin: random search + hill climb on a fixed seed must
+# produce these candidates and MPKIs whether Stage 2 replays candidates
+# one at a time or through the shared-context batch engine.
+SEARCH_HASH = "25451957fce2529e70cc7ebc80843c0475e3e04242d942b9d72584574e9534aa"
 
 
 def _single_cells():
@@ -123,3 +127,36 @@ class TestPinnedHashes:
     def test_both_feature_pipelines(self, pipeline, monkeypatch):
         monkeypatch.setenv("REPRO_FEATURE_PIPELINE", pipeline)
         _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
+
+    @pytest.mark.parametrize("vector", ["on", "off"])
+    def test_both_stage3_paths(self, vector, monkeypatch):
+        monkeypatch.setenv("REPRO_STAGE3_VECTOR", vector)
+        _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
+
+
+def _search_hash():
+    from repro.search.evaluator import FeatureSetEvaluator
+    from repro.search.hillclimb import hill_climb
+    from repro.search.random_search import random_search
+    from repro.traces.workloads import all_segments
+
+    segments = all_segments(TINY.hierarchy.llc_bytes, ACCESSES,
+                            names=["gamess", "soplex"])
+    evaluator = FeatureSetEvaluator(segments, TINY.hierarchy,
+                                    warmup_fraction=TINY.warmup_fraction)
+    candidates = random_search(evaluator, num_sets=6, seed=123)
+    refined = hill_climb(evaluator, candidates[0].features, steps=4,
+                         seed=123)
+    return stable_hash({
+        "random": [[f.spec() for f in c.features] for c in candidates],
+        "random_mpki": [c.mpki for c in candidates],
+        "refined": [f.spec() for f in refined.features],
+        "refined_mpki": refined.mpki,
+    })
+
+
+class TestSearchPinned:
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    def test_stage2_batch_modes(self, mode, monkeypatch):
+        monkeypatch.setenv("REPRO_STAGE2_BATCH", mode)
+        assert _search_hash() == SEARCH_HASH

@@ -180,6 +180,96 @@ class TestSearchCells:
         assert plain.evaluations == 1
 
 
+class TestSearchBatches:
+    """run_search_batches: batch execution, per-candidate cache keys."""
+
+    SPEC = SuiteSpec(TINY.hierarchy.llc_bytes, 2_000, names=("gamess",))
+
+    def _cells(self, k=4, seed=31):
+        import random
+
+        from repro.core.features import random_feature_set
+
+        rng = random.Random(seed)
+        feature_sets = [single_thread_config("a").features,
+                        table_1b_features()]
+        while len(feature_sets) < k:
+            feature_sets.append(random_feature_set(rng))
+        return [
+            SearchCell(
+                suite=self.SPEC,
+                features=features,
+                hierarchy=TINY.hierarchy,
+                warmup_fraction=TINY.warmup_fraction,
+            )
+            for features in feature_sets[:k]
+        ]
+
+    @staticmethod
+    def _clear_memos():
+        # Evaluators memoize MPKI in process; clear so each engine run
+        # genuinely computes instead of replaying the shared memo.
+        from repro.exec import runner as exec_runner
+
+        exec_runner._RUNNERS.clear()
+
+    def test_batched_matches_plain_run(self):
+        cells = self._cells()
+        self._clear_memos()
+        expected = ParallelRunner(jobs=1, store=None).run(cells)
+        self._clear_memos()
+        engine = ParallelRunner(jobs=1, store=None)
+        assert engine.run_search_batches(cells, label="batch") == expected
+        report = engine.last_report
+        assert report.batches == 1
+        assert report.batched == len(cells)
+        assert report.misses == len(cells)
+        assert "batched=" in report.summary()
+
+    def test_store_interop_both_directions(self, tmp_path):
+        from repro.exec.store import ResultStore
+
+        cells = self._cells()
+        self._clear_memos()
+        store = ResultStore(tmp_path / "cache")
+        engine = ParallelRunner(jobs=1, store=store)
+        values = engine.run_search_batches(cells)
+        # Batch results were stored per candidate: a plain run() is
+        # served entirely from the cache, and so is a second batch run.
+        self._clear_memos()
+        warm = ParallelRunner(jobs=1, store=store)
+        assert warm.run(cells) == values
+        assert warm.last_report.hits == len(cells)
+        assert warm.run_search_batches(cells) == values
+        assert warm.last_report.hits == len(cells)
+        assert warm.last_report.batches == 0
+
+    def test_batch_size_chunks_and_singleton(self):
+        cells = self._cells()
+        self._clear_memos()
+        baseline = ParallelRunner(jobs=1, store=None).run(cells)
+        self._clear_memos()
+        engine = ParallelRunner(jobs=1, store=None)
+        values = engine.run_search_batches(cells, batch_size=3)
+        assert values == baseline
+        report = engine.last_report
+        # 4 candidates at batch_size=3: one 3-wide batch plus one
+        # plain single-cell task.
+        assert report.batches == 1
+        assert report.batched == 3
+        assert report.cells == len(cells)
+
+    def test_parallel_matches_serial(self):
+        cells = self._cells()
+        self._clear_memos()
+        serial = ParallelRunner(jobs=1, store=None).run_search_batches(
+            cells, batch_size=2)
+        self._clear_memos()
+        parallel = ParallelRunner(jobs=2, store=None).run_search_batches(
+            cells, batch_size=2)
+        assert parallel == serial
+
+
 class TestReport:
     def test_report_shape(self):
         runner = ParallelRunner(jobs=1, store=None)

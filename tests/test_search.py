@@ -47,6 +47,71 @@ class TestEvaluator:
         assert opt <= lru
 
 
+class TestBatchedEvaluation:
+    """evaluate_many routes through the shared-context batch engine."""
+
+    def _fresh(self, **kwargs):
+        segments = all_segments(SMALL.llc_bytes, accesses=2500,
+                                names=["soplex", "lbm"])
+        return FeatureSetEvaluator(segments, SMALL, **kwargs)
+
+    def _candidates(self, seed, count):
+        rng = random.Random(seed)
+        return [random_feature_set(rng) for _ in range(count)]
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            self._fresh(batch_size=0)
+
+    def test_batch_on_off_identical(self, monkeypatch):
+        candidates = self._candidates(11, 5)
+        monkeypatch.setenv("REPRO_STAGE2_BATCH", "off")
+        sequential = self._fresh().evaluate_many(candidates)
+        monkeypatch.setenv("REPRO_STAGE2_BATCH", "on")
+        batched = self._fresh().evaluate_many(candidates)
+        assert batched == sequential
+
+    def test_batch_size_limits_replay_width(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STAGE2_BATCH", raising=False)
+        evaluator = self._fresh(batch_size=2)
+        widths = []
+        original = evaluator.runner.run_segment_batch
+
+        def spy(segment, configs):
+            widths.append(len(configs))
+            return original(segment, configs)
+
+        evaluator.runner.run_segment_batch = spy
+        values = evaluator.evaluate_many(self._candidates(3, 5))
+        assert len(values) == 5
+        assert evaluator.evaluations == 5
+        # 5 candidates -> two batches of 2; the leftover singleton goes
+        # down the per-candidate path (no width-1 batch replays).
+        assert widths and set(widths) == {2}
+
+    def test_knob_off_bypasses_batch_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STAGE2_BATCH", "off")
+        evaluator = self._fresh()
+
+        def forbidden(segment, configs):
+            raise AssertionError("batch engine used with knob off")
+
+        evaluator.runner.run_segment_batch = forbidden
+        values = evaluator.evaluate_many(self._candidates(4, 3))
+        assert len(values) == 3
+
+    def test_evaluate_batch_memoizes(self):
+        evaluator = self._fresh()
+        candidates = self._candidates(5, 3)
+        first = evaluator.evaluate_batch(candidates)
+        count = evaluator.evaluations
+        assert evaluator.evaluate_batch(candidates) == first
+        assert evaluator.evaluations == count
+        # evaluate() sees the same memo the batch path filled.
+        assert evaluator.evaluate(candidates[0]) == first[0]
+        assert evaluator.evaluations == count
+
+
 class TestRandomSearch:
     def test_sorted_ascending(self, evaluator):
         candidates = random_search(evaluator, num_sets=4, seed=3)

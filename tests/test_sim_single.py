@@ -137,6 +137,64 @@ class TestSingleThreadRunner:
         speedups = speedups_over_lru(opt, lru)
         assert speedups["soplex"] >= 1.0
 
+    def test_speedups_skip_missing_baselines(self, runner):
+        suite = build_suite(LLC, accesses=3000, names=["soplex", "lbm"])
+        lru = runner.run_suite({"soplex": suite["soplex"]},
+                               policy_factory("lru"))
+        opt = runner.run_suite(suite, policy_factory("min"))
+        speedups = speedups_over_lru(opt, lru)
+        # lbm has no LRU baseline: filtered out, not a KeyError.
+        assert set(speedups) == {"soplex"}
+
+
+class TestStage3Vector:
+    """The numpy Stage-3 event path must equal the scalar generator."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return SingleThreadRunner(SMALL, warmup_fraction=0.25)
+
+    @pytest.fixture(scope="class")
+    def segment(self):
+        return build_segments("soplex", LLC, accesses=4000)[0]
+
+    def test_arrays_match_generator(self, runner, segment):
+        from repro.sim.llc import LLCSimulator
+        from repro.sim.single import (
+            build_stage3_events,
+            demand_load_arrays,
+            demand_load_events,
+            stage3_vector_enabled,
+        )
+
+        if not stage3_vector_enabled():
+            pytest.skip("numpy unavailable")
+        upper = runner.upper_result(segment)
+        trace = segment.trace
+        warm_mem = int(len(trace.pcs) * 0.25)
+        policy = policy_factory("lru")(LLC // (16 * 64), 16)
+        llc = LLCSimulator(LLC, 16, policy).run(
+            upper.llc_stream, pc_trace=trace.pcs,
+            warmup=upper.llc_warmup_boundary(warm_mem),
+        )
+        timing = runner.timing
+        events = build_stage3_events(trace, upper, timing,
+                                     start_mem=warm_mem)
+        instr, latencies, depends = demand_load_arrays(
+            events, llc.outcomes, timing)
+        expected = list(demand_load_events(trace, upper, llc.outcomes,
+                                           timing, start_mem=warm_mem))
+        assert list(zip(instr, latencies, depends)) == expected
+
+    def test_run_segment_knob_equivalence(self, segment, monkeypatch):
+        results = {}
+        for mode in ("on", "off"):
+            monkeypatch.setenv("REPRO_STAGE3_VECTOR", mode)
+            fresh = SingleThreadRunner(SMALL, warmup_fraction=0.25)
+            results[mode] = fresh.run_segment(segment,
+                                              policy_factory("lru"))
+        assert results["on"] == results["off"]
+
 
 class TestCrossValidation:
     def test_halves_get_opposite_tables(self):
@@ -151,3 +209,12 @@ class TestCrossValidation:
         from repro.traces.workloads import benchmark_names
         configs = cross_validated_configs(benchmark_names())
         assert set(configs) == set(benchmark_names())
+
+    def test_odd_suite_sorts_then_splits(self):
+        from repro.core.presets import table_1a_features, table_1b_features
+        # Unsorted odd-length input: assignment follows alphabetical
+        # order, and the middle name lands in the (a)-trained half.
+        configs = cross_validated_configs(["e", "a", "c"])
+        assert configs["a"].features == table_1b_features()
+        assert configs["c"].features == table_1a_features()
+        assert configs["e"].features == table_1a_features()
