@@ -15,6 +15,13 @@ engine: ``--jobs N`` (or ``REPRO_JOBS``) fans independent experiment
 cells across worker processes, and ``--cache-dir`` (or
 ``REPRO_CACHE_DIR``; default ``.repro-cache``, ``off`` to disable)
 reuses results across invocations via the on-disk cache.
+
+Failure handling (DESIGN.md section 11): ``--retries`` re-runs failing
+cells, ``--cell-timeout`` bounds per-cell wall time, and ``--on-error``
+picks between completing with partial results (``collect``, the
+default) and failing fast (``raise``).  Interrupted or failed runs are
+recorded in run manifests; ``repro.cli resume`` lists them and
+re-drives the unfinished cells.
 """
 
 from __future__ import annotations
@@ -33,7 +40,17 @@ from repro import (
     policy_names,
     single_thread_config,
 )
-from repro.exec import MixCell, ParallelRunner, SingleCell, SuiteSpec, TraceSpec
+from repro.exec import (
+    CellExecutionError,
+    ConfigError,
+    MixCell,
+    ParallelRunner,
+    SingleCell,
+    SuiteSpec,
+    TraceSpec,
+    list_runs,
+    resolve_store,
+)
 from repro.report import (
     mpki_table,
     speedup_table,
@@ -55,11 +72,58 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default="", metavar="DIR",
                         help="on-disk result cache (default: $REPRO_CACHE_DIR "
                              "or .repro-cache; 'off' disables)")
+    parser.add_argument("--on-error", default=None,
+                        choices=("collect", "raise"),
+                        help="on cell failure: finish with partial results "
+                             "('collect', default) or fail fast ('raise'); "
+                             "default: $REPRO_ON_ERROR")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-run a failing cell up to N times "
+                             "(default: $REPRO_RETRIES or 0)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abandon cells running longer than this "
+                             "(default: $REPRO_CELL_TIMEOUT; off)")
+
+
+#: Engine backing the currently dispatched command, so the top-level
+#: KeyboardInterrupt handler can report partial progress.
+_ACTIVE_ENGINE: Optional[ParallelRunner] = None
 
 
 def _engine(args: argparse.Namespace) -> ParallelRunner:
-    return ParallelRunner.from_options(jobs=args.jobs,
-                                       cache_dir=args.cache_dir)
+    global _ACTIVE_ENGINE
+    _ACTIVE_ENGINE = ParallelRunner.from_options(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        on_error=getattr(args, "on_error", None),
+        retries=getattr(args, "retries", None),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        command=getattr(args, "argv", None),
+    )
+    return _ACTIVE_ENGINE
+
+
+def _resume_hint(engine: Optional[ParallelRunner]) -> Optional[str]:
+    manifest = engine.last_manifest if engine is not None else None
+    if manifest is None or manifest.is_complete:
+        return None
+    return (f"resume with: python -m repro.cli resume "
+            f"{manifest.run_id[:12]}")
+
+
+def _report_failures(engine: ParallelRunner) -> bool:
+    """Print terminal cell failures (if any); True when the run failed."""
+    report = engine.last_report
+    if report is None or not report.failures:
+        return False
+    print(report.failures_table(), file=sys.stderr)
+    print(f"error: {len(report.failures)} cell(s) failed; "
+          f"partial results were cached", file=sys.stderr)
+    hint = _resume_hint(engine)
+    if hint:
+        print(hint, file=sys.stderr)
+    return True
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -72,6 +136,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     ordered = sorted(dict.fromkeys(names))
     engine = _engine(args)
     results = {}
+    failed = False
     for policy in args.policies:
         cells = [
             SingleCell(
@@ -87,6 +152,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             zip(ordered, engine.run(cells, label=f"compare/{policy}"))
         )
         print(engine.last_report.summary())
+        failed = _report_failures(engine) or failed
+    if failed:
+        return 1
     print(mpki_table(results))
     if "lru" in results and len(results) > 1:
         print()
@@ -158,6 +226,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
     suite_spec = SuiteSpec(scale.hierarchy.llc_bytes, accesses)
     engine = _engine(args)
     results = {}
+    failed = False
     for policy in args.policies:
         cells = [
             MixCell(
@@ -172,6 +241,9 @@ def cmd_mix(args: argparse.Namespace) -> int:
         ]
         results[policy] = engine.run(cells, label=f"mix/{policy}")
         print(engine.last_report.summary())
+        failed = _report_failures(engine) or failed
+    if failed:
+        return 1
     if "lru" not in results:
         print("note: add 'lru' to --policies for normalized speedups")
         for policy, mix_results in results.items():
@@ -212,6 +284,51 @@ def cmd_perf(args: argparse.Namespace) -> int:
         if failures:
             return 1
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    store = resolve_store(args.cache_dir)
+    if store is None:
+        print("error: resume needs the result cache "
+              "(--cache-dir / REPRO_CACHE_DIR is disabled)", file=sys.stderr)
+        return 2
+    manifests = list_runs(store.root)
+    if not args.run_id:
+        if not manifests:
+            print("no recorded runs")
+            return 0
+        print(f"{'run id':12s} {'state':>10s} {'progress':>14s}  command")
+        for manifest in manifests:
+            state = "complete" if manifest.is_complete else "resumable"
+            done = len(manifest.completed())
+            command = " ".join(manifest.command) or f"<library: {manifest.label}>"
+            print(f"{manifest.run_id[:12]:12s} {state:>10s} "
+                  f"{done:>6d}/{len(manifest.cells):<7d}  {command}")
+        return 0
+    matches = [manifest for manifest in manifests
+               if manifest.run_id.startswith(args.run_id)]
+    if not matches:
+        print(f"error: no recorded run matches {args.run_id!r}",
+              file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"error: run id {args.run_id!r} is ambiguous "
+              f"({len(matches)} matches); use more digits", file=sys.stderr)
+        return 2
+    manifest = matches[0]
+    if manifest.is_complete:
+        print(f"run {manifest.run_id[:12]} is already complete "
+              f"({manifest.progress()})")
+        return 0
+    if not manifest.command:
+        print(f"error: run {manifest.run_id[:12]} was launched from the "
+              f"library, not the CLI; re-run it from its caller",
+              file=sys.stderr)
+        return 2
+    print(f"resuming {manifest.run_id[:12]} ({manifest.progress()}): "
+          f"{' '.join(manifest.command)}")
+    # Completed cells are store hits, so only unfinished cells recompute.
+    return main(list(manifest.command))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,13 +395,54 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed fused/legacy ratio for --check")
     _add_scale(perf)
     perf.set_defaults(func=cmd_perf)
+
+    resume = sub.add_parser(
+        "resume", help="list or re-drive interrupted runs")
+    resume.add_argument("run_id", nargs="?", default="",
+                        help="run-id prefix to resume (omit to list runs)")
+    resume.add_argument("--cache-dir", default="", metavar="DIR",
+                        help="result cache holding the run manifests "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    resume.set_defaults(func=cmd_resume)
     return parser
 
 
+def _handle_interrupt() -> int:
+    engine = _ACTIVE_ENGINE
+    print("\ninterrupted", file=sys.stderr)
+    if engine is not None and engine.last_report is not None:
+        report = engine.last_report
+        print(report.summary(), file=sys.stderr)
+        print(f"interrupted: {report.cells - report.failed} cells done, "
+              f"{report.failed} failed, {report.pending} pending "
+              f"(completed results are cached)", file=sys.stderr)
+    hint = _resume_hint(engine)
+    if hint:
+        print(hint, file=sys.stderr)
+    return 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    global _ACTIVE_ENGINE
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # Record the launching argv (for run manifests / `resume`) exactly
+    # as the subcommand received it.
+    args.argv = list(argv) if argv is not None else list(sys.argv[1:])
+    _ACTIVE_ENGINE = None
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CellExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        hint = _resume_hint(_ACTIVE_ENGINE)
+        if hint:
+            print(hint, file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return _handle_interrupt()
 
 
 if __name__ == "__main__":

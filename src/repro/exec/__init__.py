@@ -10,6 +10,13 @@ from repro.exec.cachekey import (
     stable_hash,
     task_seed,
 )
+from repro.exec.faults import (
+    CellExecutionError,
+    CellFailure,
+    ConfigError,
+    parse_fault_spec,
+)
+from repro.exec.manifest import RunManifest, list_runs
 from repro.exec.progress import CellOutcome, ExecReport
 from repro.exec.runner import (
     MixCell,
@@ -21,6 +28,7 @@ from repro.exec.runner import (
     TraceSpec,
     default_store,
     resolve_jobs,
+    resolve_store,
 )
 from repro.exec.store import DEFAULT_CACHE_DIR, CacheStats, ResultStore
 
@@ -29,6 +37,12 @@ __all__ = [
     "canonical_json",
     "stable_hash",
     "task_seed",
+    "CellExecutionError",
+    "CellFailure",
+    "ConfigError",
+    "parse_fault_spec",
+    "RunManifest",
+    "list_runs",
     "CellOutcome",
     "ExecReport",
     "MixCell",
@@ -40,6 +54,7 @@ __all__ = [
     "TraceSpec",
     "default_store",
     "resolve_jobs",
+    "resolve_store",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "ResultStore",

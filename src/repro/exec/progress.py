@@ -12,20 +12,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.exec.faults import CellFailure
+
 RULE = "-" * 78
 
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """How one cell was satisfied."""
+    """How one cell was satisfied (or why it was not)."""
 
     label: str
     key: str
     cached: bool
     seconds: float
+    failed: bool = False
+    attempts: int = 1
 
     @property
     def status(self) -> str:
+        if self.failed:
+            return "failed"
         return "cached" if self.cached else "computed"
 
 
@@ -52,10 +58,32 @@ class ExecReport:
     # covered.  Zero for per-candidate runs.
     batches: int = 0
     batched: int = 0
+    # Fault-tolerance accounting: ``planned`` is the batch size the
+    # run was asked for (outcomes may be fewer after an interrupt),
+    # ``failures`` the terminal per-cell failure records, ``retries``
+    # the re-executions after in-cell errors/timeouts, ``timeouts``
+    # the watchdog expirations, ``requeued`` the cells resubmitted
+    # after pool deaths or batch degradation, and ``pool_rebuilds``
+    # the worker pools rebuilt after a ``BrokenProcessPool``.
+    planned: int = 0
+    failures: Tuple[CellFailure, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    requeued: int = 0
+    pool_rebuilds: int = 0
 
     @property
     def cells(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.failed)
+
+    @property
+    def pending(self) -> int:
+        """Cells never settled (interrupted before compute finished)."""
+        return max(0, self.planned - self.cells)
 
     @property
     def hits(self) -> int:
@@ -104,6 +132,15 @@ class ExecReport:
             )
         if self.batches:
             line += f"  batched={self.batched}/{self.batches} replays"
+        if (self.failed or self.retries or self.timeouts or self.requeued
+                or self.pool_rebuilds):
+            line += (
+                f"  faults: failed={self.failed} retries={self.retries} "
+                f"timeouts={self.timeouts} requeued={self.requeued} "
+                f"rebuilds={self.pool_rebuilds}"
+            )
+        if self.pending:
+            line += f"  pending={self.pending}"
         return line
 
     def table(self) -> str:
@@ -112,6 +149,22 @@ class ExecReport:
             lines.append(
                 f"{outcome.label[:48]:48s} {outcome.status:>10s} "
                 f"{outcome.seconds:10.3f}"
+            )
+        lines.append(RULE)
+        return "\n".join(lines)
+
+    def failures_table(self) -> str:
+        """Fixed-width table of terminal failures; empty when clean."""
+        if not self.failures:
+            return ""
+        lines = [RULE,
+                 f"{'failed cell':32s} {'kind':>8s} {'tries':>6s}  error",
+                 RULE]
+        for failure in self.failures:
+            error = f"{failure.exc_type}: {failure.message}"
+            lines.append(
+                f"{failure.label[:32]:32s} {failure.kind:>8s} "
+                f"{failure.attempts:>6d}  {error[:60]}"
             )
         lines.append(RULE)
         return "\n".join(lines)

@@ -32,11 +32,15 @@ from __future__ import annotations
 import os
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     ClassVar,
+    Deque,
     Dict,
     List,
     Optional,
@@ -58,6 +62,15 @@ from repro.exec.cachekey import (
     timing_payload,
 )
 from repro.exec.artifacts import ArtifactCache
+from repro.exec.faults import (
+    CellExecutionError,
+    CellFailure,
+    ConfigError,
+    active_plan,
+    corrupt_result_blob,
+    make_failure,
+)
+from repro.exec.manifest import RunManifest
 from repro.exec.progress import CellOutcome, ExecReport
 from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
 from repro.policies import policy_factory
@@ -80,10 +93,69 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             jobs = int(raw)
         except ValueError:
-            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {raw!r}") from None
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def resolve_on_error(on_error: Optional[str] = None) -> str:
+    """Failure mode: explicit value, else ``REPRO_ON_ERROR``, else collect."""
+    value = (on_error if on_error is not None
+             else os.environ.get("REPRO_ON_ERROR", "")) or "collect"
+    value = value.lower()
+    if value not in ("collect", "raise"):
+        raise ConfigError(
+            f"on-error mode must be 'collect' or 'raise', got {value!r} "
+            f"(--on-error / REPRO_ON_ERROR)")
+    return value
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Per-cell retry budget: explicit, else ``REPRO_RETRIES``, else 0."""
+    if retries is None:
+        raw = os.environ.get("REPRO_RETRIES", "") or "0"
+        try:
+            retries = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_RETRIES must be an integer, got {raw!r}") from None
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Watchdog seconds per cell: explicit, else ``REPRO_CELL_TIMEOUT``.
+
+    ``None``, empty, ``0``, or a disable sentinel means no timeout.
+    """
+    if timeout is None:
+        raw = (os.environ.get("REPRO_CELL_TIMEOUT", "") or "").strip().lower()
+        if not raw or raw in DISABLED_SENTINELS:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ConfigError(
+                "REPRO_CELL_TIMEOUT must be a number of seconds, got "
+                f"{raw!r}") from None
+    return timeout if timeout > 0 else None
+
+
+def resolve_retry_backoff() -> float:
+    """Base delay for exponential retry backoff (``REPRO_RETRY_BACKOFF``)."""
+    raw = os.environ.get("REPRO_RETRY_BACKOFF", "")
+    if not raw:
+        return 0.05
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            "REPRO_RETRY_BACKOFF must be a number of seconds, got "
+            f"{raw!r}") from None
+    return max(0.0, value)
 
 
 def default_store() -> Optional[ResultStore]:
@@ -92,6 +164,19 @@ def default_store() -> Optional[ResultStore]:
     if raw.lower() in DISABLED_SENTINELS:
         return None
     return ResultStore(raw or DEFAULT_CACHE_DIR)
+
+
+def resolve_store(cache_dir: str = "") -> Optional[ResultStore]:
+    """Store from a CLI-style ``--cache-dir`` value.
+
+    Empty defers to ``REPRO_CACHE_DIR``; the sentinel values ``off`` /
+    ``none`` / ``0`` disable caching.
+    """
+    if cache_dir and cache_dir.lower() in DISABLED_SENTINELS:
+        return None
+    if cache_dir:
+        return ResultStore(cache_dir)
+    return default_store()
 
 
 def _verbose_default() -> bool:
@@ -511,15 +596,22 @@ Cell = Union[SingleCell, MixCell, SearchCell, SearchBatchCell]
 
 
 def _execute_cell(cell: Cell, key: str,
-                  artifact_root: Optional[str] = None
+                  artifact_root: Optional[str] = None,
+                  attempt: int = 1,
+                  in_worker: bool = False
                   ) -> Tuple[Any, float, Dict[str, int]]:
     """Run one cell with deterministic seeding.
 
     Returns (result, seconds, artifact hit/miss deltas).  The artifact
     cache only changes *where* trace and Stage-1 data come from, never
     their values, so seeding and results are identical with it on,
-    off, cold, or warm.
+    off, cold, or warm.  ``attempt`` numbers retries (1-based) for the
+    fault-injection harness only — seeding depends solely on the key,
+    so a retried cell reproduces the first attempt's result exactly.
     """
+    plan = active_plan()
+    if plan is not None:
+        plan.fire(key, attempt, in_worker=in_worker)
     artifacts = _artifact_cache(artifact_root)
     before = artifacts.stats.counts() if artifacts is not None else {}
     random.seed(task_seed(key))
@@ -536,23 +628,80 @@ def _execute_cell(cell: Cell, key: str,
 
 _AUTO_STORE = object()
 
+#: Cache-lookup sentinel: distinguishes "miss" from a legitimately
+#: falsy cached value.
+_MISS = object()
+
+
+@dataclass
+class _Task:
+    """One unit of fan-out work: a cell, its key, and caller context."""
+
+    cell: Cell
+    key: str
+    context: Any = None
+    attempt: int = 1
+    started: float = 0.0  # monotonic submit time (watchdog deadline)
+
+
+@dataclass
+class _DriveStats:
+    """Mutable fault accounting for one drive (one run() call)."""
+
+    failures: List[CellFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    requeued: int = 0
+    rebuilds: int = 0
+    abort: Optional[CellFailure] = None  # set in on_error="raise" mode
+
 
 class ParallelRunner:
-    """Cache-aware fan-out executor for experiment cells.
+    """Cache-aware, fault-tolerant fan-out executor for experiment cells.
 
     With ``jobs == 1`` (the default) cache misses run serially in the
     current process through exactly the same entry points the workers
     use, so serial and parallel execution are bit-identical.
+
+    Failure semantics (see DESIGN.md §11): a cell exception is
+    captured into a :class:`~repro.exec.faults.CellFailure` instead of
+    aborting the batch.  Each cell is retried up to ``retries`` times
+    with exponential backoff; a dead worker pool
+    (``BrokenProcessPool``) is rebuilt and only unfinished cells are
+    requeued, degrading to in-process serial execution after
+    ``max_pool_rebuilds`` deaths; with ``cell_timeout`` a watchdog
+    abandons stragglers and records them as timeouts.  With
+    ``on_error="collect"`` (default) the run completes and failed
+    cells yield ``None`` results; with ``"raise"`` the first terminal
+    failure raises :class:`~repro.exec.faults.CellExecutionError`
+    after in-flight work drains (draining still stores those results).
+    Retries and requeues never change results: cell seeding depends
+    only on the cache key, never on the attempt number or worker.
     """
 
+    #: Pool deaths tolerated before degrading to serial execution.
+    max_pool_rebuilds = 3
+
     def __init__(self, jobs: Optional[int] = None, store: Any = _AUTO_STORE,
-                 verbose: Optional[bool] = None) -> None:
+                 verbose: Optional[bool] = None,
+                 on_error: Optional[str] = None,
+                 retries: Optional[int] = None,
+                 cell_timeout: Optional[float] = None,
+                 command: Optional[Sequence[str]] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store: Optional[ResultStore] = (
             default_store() if store is _AUTO_STORE else store
         )
         self.verbose = _verbose_default() if verbose is None else verbose
+        self.on_error = resolve_on_error(on_error)
+        self.retries = resolve_retries(retries)
+        self.cell_timeout = resolve_cell_timeout(cell_timeout)
+        self.retry_backoff = resolve_retry_backoff()
+        # CLI argv that launched this engine; recorded in run manifests
+        # so `repro.cli resume` can re-drive an interrupted run.
+        self.command: List[str] = list(command) if command else []
         self.last_report: Optional[ExecReport] = None
+        self.last_manifest: Optional[RunManifest] = None
         # Trace/Stage-1 artifacts live in the same store as results and
         # ride its enable/disable switch; REPRO_ARTIFACT_CACHE=off opts
         # out of just the artifact layer (results stay cached).
@@ -564,69 +713,80 @@ class ParallelRunner:
         )
 
     @classmethod
-    def from_options(cls, jobs: Optional[int] = None,
-                     cache_dir: str = "") -> "ParallelRunner":
-        """Build from CLI-style options (``--jobs`` / ``--cache-dir``).
+    def from_options(cls, jobs: Optional[int] = None, cache_dir: str = "",
+                     on_error: Optional[str] = None,
+                     retries: Optional[int] = None,
+                     cell_timeout: Optional[float] = None,
+                     command: Optional[Sequence[str]] = None
+                     ) -> "ParallelRunner":
+        """Build from CLI-style options (``--jobs`` / ``--cache-dir`` /
+        ``--on-error`` / ``--retries`` / ``--cell-timeout``).
 
         An empty ``cache_dir`` defers to ``REPRO_CACHE_DIR``; the
         sentinel values ``off`` / ``none`` / ``0`` disable caching.
         """
-        if cache_dir and cache_dir.lower() in DISABLED_SENTINELS:
-            store: Optional[ResultStore] = None
-        elif cache_dir:
-            store = ResultStore(cache_dir)
-        else:
-            store = default_store()
-        return cls(jobs=jobs, store=store)
+        return cls(jobs=jobs, store=resolve_store(cache_dir),
+                   on_error=on_error, retries=retries,
+                   cell_timeout=cell_timeout, command=command)
 
     def run(self, cells: Sequence[Cell], label: str = "") -> List[Any]:
-        """Resolve every cell (cache or compute); results in cell order."""
+        """Resolve every cell (cache or compute); results in cell order.
+
+        Failed cells (retries exhausted, ``on_error="collect"``) leave
+        ``None`` in their result slot; ``last_report.failures`` holds
+        the structured records.
+        """
         started = time.perf_counter()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-        pending: List[Tuple[int, str, Cell]] = []
+        records: List[Tuple[str, str, str]] = []
+        tasks: List[_Task] = []
 
         for index, cell in enumerate(cells):
             key = stable_hash(cell.key_payload())
-            payload = self.store.get(key) if self.store is not None else None
-            if payload is not None and payload.get("kind") == cell.kind:
-                results[index] = cell.decode(payload["result"])
+            records.append((key, cell.label(), cell.kind))
+            value = self._cached_result(cell, key)
+            if value is not _MISS:
+                results[index] = value
                 outcomes[index] = CellOutcome(cell.label(), key, True, 0.0)
             else:
-                pending.append((index, key, cell))
+                tasks.append(_Task(cell, key, index))
+
+        manifest = self._open_manifest(label, records)
+        if manifest is not None:
+            for outcome in outcomes:
+                if outcome is not None:
+                    manifest.mark(outcome.key, "done")
 
         artifact_counts: Dict[str, int] = {}
-        workers = min(self.jobs, len(pending))
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_cell, cell, key,
-                                self.artifact_root): (index, key, cell)
-                    for index, key, cell in pending
-                }
-                for future in as_completed(futures):
-                    index, key, cell = futures[future]
-                    result, seconds, delta = future.result()
-                    self._record(cell, key, result, seconds, index,
-                                 results, outcomes, artifact_counts, delta)
-        else:
-            for index, key, cell in pending:
-                result, seconds, delta = _execute_cell(cell, key,
-                                                       self.artifact_root)
-                self._record(cell, key, result, seconds, index,
-                             results, outcomes, artifact_counts, delta)
+        stats = _DriveStats()
+        plan = active_plan()
 
-        self.last_report = ExecReport(
-            outcomes=tuple(outcome for outcome in outcomes
-                           if outcome is not None),
-            wall_seconds=time.perf_counter() - started,
-            jobs=self.jobs,
-            label=label,
-            trace_hits=artifact_counts.get("trace_hits", 0),
-            trace_misses=artifact_counts.get("trace_misses", 0),
-            stage1_hits=artifact_counts.get("stage1_hits", 0),
-            stage1_misses=artifact_counts.get("stage1_misses", 0),
-        )
+        def settle(task: _Task, result: Any, seconds: float,
+                   delta: Dict[str, int]) -> None:
+            index = task.context
+            results[index] = result
+            outcomes[index] = CellOutcome(task.cell.label(), task.key, False,
+                                          seconds, attempts=task.attempt)
+            _merge_counts(artifact_counts, delta)
+            self._store_result(task.cell, task.key, result, plan,
+                               task.attempt)
+            if manifest is not None:
+                manifest.mark(task.key, "done")
+
+        def fail(task: _Task, failure: CellFailure) -> None:
+            index = task.context
+            outcomes[index] = CellOutcome(task.cell.label(), task.key, False,
+                                          failure.seconds, failed=True,
+                                          attempts=failure.attempts)
+            if manifest is not None:
+                manifest.mark(task.key, "failed")
+
+        try:
+            self._drive(tasks, stats, settle, fail)
+        finally:
+            self._finish_report(outcomes, started, label, artifact_counts,
+                                stats, planned=len(cells))
         if self.verbose:
             print(self.last_report.table())
         return results
@@ -648,16 +808,24 @@ class ParallelRunner:
         started = time.perf_counter()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        records: List[Tuple[str, str, str]] = []
         pending: List[Tuple[int, str, SearchCell]] = []
 
         for index, cell in enumerate(cells):
             key = stable_hash(cell.key_payload())
-            payload = self.store.get(key) if self.store is not None else None
-            if payload is not None and payload.get("kind") == cell.kind:
-                results[index] = cell.decode(payload["result"])
+            records.append((key, cell.label(), cell.kind))
+            value = self._cached_result(cell, key)
+            if value is not _MISS:
+                results[index] = value
                 outcomes[index] = CellOutcome(cell.label(), key, True, 0.0)
             else:
                 pending.append((index, key, cell))
+
+        manifest = self._open_manifest(label, records)
+        if manifest is not None:
+            for outcome in outcomes:
+                if outcome is not None:
+                    manifest.mark(outcome.key, "done")
 
         groups: Dict[str, List[Tuple[int, str, SearchCell]]] = {}
         for item in pending:
@@ -696,15 +864,17 @@ class ParallelRunner:
                               stable_hash(batch_cell.key_payload()), chunk))
 
         artifact_counts: Dict[str, int] = {}
+        stats = _DriveStats()
+        plan = active_plan()
         batches = 0
         batched = 0
 
-        def settle(exec_cell: Cell, chunk: Chunk, result: Any,
-                   seconds: float, delta: Dict[str, int]) -> None:
+        def settle(task: _Task, result: Any, seconds: float,
+                   delta: Dict[str, int]) -> None:
             nonlocal batches, batched
-            for name, count in delta.items():
-                artifact_counts[name] = artifact_counts.get(name, 0) + count
-            if isinstance(exec_cell, SearchBatchCell):
+            chunk: Chunk = task.context
+            _merge_counts(artifact_counts, delta)
+            if isinstance(task.cell, SearchBatchCell):
                 batches += 1
                 batched += len(chunk)
                 share = seconds / len(chunk)
@@ -715,29 +885,97 @@ class ParallelRunner:
             for (index, key, cell), value in per_candidate:
                 results[index] = value
                 outcomes[index] = CellOutcome(cell.label(), key, False,
-                                              share)
-                if self.store is not None:
-                    self.store.put(key, {"kind": cell.kind,
-                                         "result": cell.encode(value)})
+                                              share, attempts=task.attempt)
+                self._store_result(cell, key, value, plan, task.attempt)
+                if manifest is not None:
+                    manifest.mark(key, "done")
 
-        workers = min(self.jobs, len(tasks))
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_cell, exec_cell, exec_key,
-                                self.artifact_root): (exec_cell, chunk)
-                    for exec_cell, exec_key, chunk in tasks
-                }
-                for future in as_completed(futures):
-                    exec_cell, chunk = futures[future]
-                    result, seconds, delta = future.result()
-                    settle(exec_cell, chunk, result, seconds, delta)
-        else:
-            for exec_cell, exec_key, chunk in tasks:
-                result, seconds, delta = _execute_cell(exec_cell, exec_key,
-                                                       self.artifact_root)
-                settle(exec_cell, chunk, result, seconds, delta)
+        def fail(task: _Task, failure: CellFailure) -> None:
+            for index, key, cell in task.context:
+                outcomes[index] = CellOutcome(cell.label(), key, False,
+                                              failure.seconds, failed=True,
+                                              attempts=failure.attempts)
+                if manifest is not None:
+                    manifest.mark(key, "failed")
 
+        def split(task: _Task) -> Optional[List[_Task]]:
+            # A failed batch degrades to per-candidate cells (fresh
+            # retry budget): one bad candidate must not take the whole
+            # chunk down with it.
+            chunk: Chunk = task.context
+            if not isinstance(task.cell, SearchBatchCell) or len(chunk) <= 1:
+                return None
+            return [_Task(cell, key, [(index, key, cell)])
+                    for index, key, cell in chunk]
+
+        drive_tasks = [_Task(exec_cell, exec_key, chunk)
+                       for exec_cell, exec_key, chunk in tasks]
+        try:
+            self._drive(drive_tasks, stats, settle, fail, split=split)
+        finally:
+            self._finish_report(outcomes, started, label, artifact_counts,
+                                stats, planned=len(cells),
+                                batches=batches, batched=batched)
+        if self.verbose:
+            print(self.last_report.table())
+        return results
+
+    # -- shared fault-tolerant drive machinery ------------------------------
+
+    def _cached_result(self, cell: Cell, key: str) -> Any:
+        """Store lookup; ``_MISS`` on absence, wrong kind, or corruption.
+
+        A payload whose ``kind`` matches but whose ``result`` fails
+        ``cell.decode`` degrades to a cache miss (the cell re-executes)
+        — the same "corruption is a miss" contract the artifact cache
+        keeps in :mod:`repro.exec.artifacts`.
+        """
+        if self.store is None:
+            return _MISS
+        payload = self.store.get(key)
+        if payload is None or payload.get("kind") != cell.kind:
+            return _MISS
+        try:
+            return cell.decode(payload["result"])
+        except Exception:
+            return _MISS
+
+    def _store_result(self, cell: Cell, key: str, result: Any,
+                      plan, attempt: int) -> None:
+        if self.store is None:
+            return
+        self.store.put(key, {"kind": cell.kind,
+                             "result": cell.encode(result)})
+        if plan is not None and plan.corrupts(key, attempt):
+            corrupt_result_blob(self.store, key, cell.kind)
+
+    def _open_manifest(self, label: str,
+                       records: Sequence[Tuple[str, str, str]]
+                       ) -> Optional[RunManifest]:
+        """Open the run manifest for this batch, when worth recording.
+
+        Needs an attached store (the manifest lives beside it) and
+        more than one cell — single-cell runs resume trivially through
+        the result cache and would drown ``runs/`` in tiny files
+        during hill-climb searches.  ``REPRO_RUN_MANIFEST=off``
+        disables manifests entirely.
+        """
+        self.last_manifest = None
+        if self.store is None or len(records) < 2:
+            return None
+        if (os.environ.get("REPRO_RUN_MANIFEST", "").lower()
+                in DISABLED_SENTINELS):
+            return None
+        manifest = RunManifest.create(self.store.root, label=label,
+                                      command=self.command, cells=records)
+        self.last_manifest = manifest
+        return manifest
+
+    def _finish_report(self, outcomes: Sequence[Optional[CellOutcome]],
+                       started: float, label: str,
+                       artifact_counts: Dict[str, int], stats: _DriveStats,
+                       planned: int, batches: int = 0,
+                       batched: int = 0) -> ExecReport:
         self.last_report = ExecReport(
             outcomes=tuple(outcome for outcome in outcomes
                            if outcome is not None),
@@ -750,20 +988,210 @@ class ParallelRunner:
             stage1_misses=artifact_counts.get("stage1_misses", 0),
             batches=batches,
             batched=batched,
+            planned=planned,
+            failures=tuple(stats.failures),
+            retries=stats.retries,
+            timeouts=stats.timeouts,
+            requeued=stats.requeued,
+            pool_rebuilds=stats.rebuilds,
         )
-        if self.verbose:
-            print(self.last_report.table())
-        return results
+        return self.last_report
 
-    def _record(self, cell: Cell, key: str, result: Any, seconds: float,
-                index: int, results: List[Any],
-                outcomes: List[Optional[CellOutcome]],
-                artifact_counts: Dict[str, int],
-                delta: Dict[str, int]) -> None:
-        results[index] = result
-        outcomes[index] = CellOutcome(cell.label(), key, False, seconds)
-        for name, count in delta.items():
-            artifact_counts[name] = artifact_counts.get(name, 0) + count
-        if self.store is not None:
-            self.store.put(key, {"kind": cell.kind,
-                                 "result": cell.encode(result)})
+    def _drive(self, tasks: Sequence[_Task], stats: _DriveStats,
+               settle: Callable[[_Task, Any, float, Dict[str, int]], None],
+               fail: Callable[[_Task, CellFailure], None],
+               split: Optional[Callable[[_Task], Optional[List[_Task]]]]
+               = None) -> None:
+        """Execute ``tasks`` with isolation, retries, and recovery."""
+        queue: Deque[_Task] = deque(tasks)
+        workers = min(self.jobs, len(queue))
+        if workers > 1:
+            self._drive_parallel(queue, settle, fail, split, stats, workers)
+        else:
+            self._drive_serial(queue, settle, fail, split, stats)
+        if stats.abort is not None:
+            raise CellExecutionError(stats.abort)
+
+    def _drive_serial(self, queue: Deque[_Task], settle, fail, split,
+                      stats: _DriveStats) -> None:
+        while queue and stats.abort is None:
+            task = queue.popleft()
+            try:
+                result, seconds, delta = _execute_cell(
+                    task.cell, task.key, self.artifact_root, task.attempt)
+            except KeyboardInterrupt:
+                queue.appendleft(task)
+                raise
+            except Exception as exc:
+                self._after_failure(task, exc, "error", queue, stats, fail,
+                                    split)
+            else:
+                settle(task, result, seconds, delta)
+
+    def _drive_parallel(self, queue: Deque[_Task], settle, fail, split,
+                        stats: _DriveStats, workers: int) -> None:
+        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers)
+        running: Dict[Future, _Task] = {}
+        try:
+            while True:
+                if pool is None:
+                    # Pool died max_pool_rebuilds times: finish the
+                    # remaining cells in-process.
+                    self._drive_serial(queue, settle, fail, split, stats)
+                    return
+                # Sliding submission window: at most ``workers``
+                # futures in flight, so every running future really is
+                # running and the watchdog deadline below is a compute
+                # deadline, not a queue-wait deadline.
+                while queue and len(running) < workers and stats.abort is None:
+                    task = queue.popleft()
+                    try:
+                        future = pool.submit(
+                            _execute_cell, task.cell, task.key,
+                            self.artifact_root, task.attempt, True)
+                    except Exception:
+                        queue.appendleft(task)
+                        pool = self._recover_pool(pool, running, queue,
+                                                  stats, workers)
+                        break
+                    task.started = time.monotonic()
+                    running[future] = task
+                if not running:
+                    if stats.abort is not None or not queue:
+                        return
+                    continue
+                done, _ = wait(set(running), timeout=self._poll_interval(),
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    task = running.pop(future)
+                    try:
+                        result, seconds, delta = future.result()
+                    except BrokenProcessPool:
+                        # The pool died under this future; whether this
+                        # very cell crashed the worker is unknowable,
+                        # so bump its attempt (any first-attempt-only
+                        # injected crash will not refire) and requeue.
+                        broken = True
+                        task.attempt += 1
+                        stats.requeued += 1
+                        queue.append(task)
+                    except Exception as exc:
+                        self._after_failure(task, exc, "error", queue, stats,
+                                            fail, split)
+                    else:
+                        settle(task, result, seconds, delta)
+                if broken:
+                    pool = self._recover_pool(pool, running, queue, stats,
+                                              workers)
+                    continue
+                if self.cell_timeout is not None and running:
+                    now = time.monotonic()
+                    expired = [(future, task)
+                               for future, task in running.items()
+                               if now - task.started >= self.cell_timeout]
+                    if expired:
+                        for future, task in expired:
+                            del running[future]
+                            future.cancel()
+                            stats.timeouts += 1
+                            timeout_exc = TimeoutError(
+                                f"cell exceeded cell-timeout of "
+                                f"{self.cell_timeout:g}s")
+                            self._after_failure(task, timeout_exc, "timeout",
+                                                queue, stats, fail, split)
+                        # The stragglers still occupy worker processes;
+                        # the only way to reclaim that capacity is a
+                        # pool rebuild.  Innocent in-flight cells are
+                        # requeued without an attempt bump.
+                        pool = self._recover_pool(pool, running, queue,
+                                                  stats, workers,
+                                                  bump_attempt=False)
+        except BaseException:
+            if pool is not None:
+                self._kill_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def _after_failure(self, task: _Task, exc: BaseException, kind: str,
+                       queue: Deque[_Task], stats: _DriveStats, fail,
+                       split) -> None:
+        """Route one failed execution: retry, degrade, or record."""
+        if task.attempt <= self.retries:
+            stats.retries += 1
+            self._backoff(task.attempt)
+            task.attempt += 1
+            queue.append(task)
+            return
+        if split is not None:
+            replacements = split(task)
+            if replacements:
+                stats.requeued += len(replacements)
+                queue.extend(replacements)
+                return
+        seconds = self.cell_timeout or 0.0 if kind == "timeout" else 0.0
+        failure = make_failure(task.cell.label(), task.key, exc, kind,
+                               attempts=task.attempt, seconds=seconds)
+        stats.failures.append(failure)
+        if stats.abort is None and self.on_error == "raise":
+            stats.abort = failure
+        fail(task, failure)
+
+    def _recover_pool(self, pool: ProcessPoolExecutor,
+                      running: Dict[Future, _Task], queue: Deque[_Task],
+                      stats: _DriveStats, workers: int,
+                      bump_attempt: bool = True
+                      ) -> Optional[ProcessPoolExecutor]:
+        """Tear down a dead/stuck pool; requeue its in-flight cells.
+
+        Returns the replacement pool, or ``None`` once the rebuild
+        budget is spent (the caller then degrades to serial).  Only
+        unfinished cells are requeued — everything already settled
+        stays settled (and stored), so a pool death loses zero
+        completed results.
+        """
+        for task in running.values():
+            if bump_attempt:
+                task.attempt += 1
+            stats.requeued += 1
+            queue.append(task)
+        running.clear()
+        self._kill_pool(pool)
+        stats.rebuilds += 1
+        if stats.rebuilds > self.max_pool_rebuilds:
+            return None
+        return ProcessPoolExecutor(max_workers=workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly stop a pool whose workers may be dead or hung."""
+        processes = dict(getattr(pool, "_processes", None) or {})
+        for process in processes.values():
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _poll_interval(self) -> Optional[float]:
+        """Wait quantum for the parallel loop; None = block until done."""
+        if self.cell_timeout is None:
+            return None
+        return max(0.02, min(0.1, self.cell_timeout / 5.0))
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.retry_backoff * (2 ** (attempt - 1)), 2.0)
+        if delay > 0:
+            time.sleep(delay)
+
+
+def _merge_counts(totals: Dict[str, int], delta: Dict[str, int]) -> None:
+    for name, count in delta.items():
+        totals[name] = totals.get(name, 0) + count

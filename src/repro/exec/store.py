@@ -25,9 +25,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.exec.cachekey import SCHEMA_VERSION
 
@@ -39,6 +45,10 @@ DISABLED_SENTINELS = ("off", "none", "0")
 
 #: Name of the append-only recency log kept at the store root.
 INDEX_NAME = "index.log"
+
+#: Advisory lock file serializing eviction/index-compaction across
+#: processes sharing one cache directory.
+LOCK_NAME = ".lock"
 
 
 @dataclass
@@ -83,6 +93,43 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self._blobs())
+
+    # -- cross-process exclusion -------------------------------------------
+
+    @contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """Advisory inter-process lock over destructive maintenance.
+
+        Writes (``put``/``put_bytes``) stay lock-free — they are
+        atomic ``os.replace`` operations and single-``write`` index
+        appends — but eviction unlinks blobs *and* compacts the index,
+        and two processes doing that concurrently could each pick
+        different survivor sets.  ``flock`` on a sidecar file
+        serializes them; on platforms without ``fcntl`` (or when the
+        lock file cannot be created) this degrades to the old
+        unserialized behavior rather than failing.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = open(self.root / LOCK_NAME, "a+")
+        except OSError:
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except OSError:
+                pass
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            handle.close()
 
     # -- recency index -----------------------------------------------------
 
@@ -207,7 +254,13 @@ class ResultStore:
         Recency comes from the monotonic ``index.log`` positions;
         filesystem mtime only breaks ties for unlogged blobs (which
         sort oldest), so same-second writes evict in insertion order.
+        Runs under the cross-process lock so two writers sharing one
+        cache directory cannot interleave unlink/compaction steps.
         """
+        with self._exclusive():
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
         blobs = self._blobs()
         order = self._recency()
 

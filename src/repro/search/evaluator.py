@@ -213,9 +213,30 @@ class FeatureSetEvaluator:
                     cells, batch_size=self.batch_size, label="search")
             else:
                 values = self.executor.run(cells, label="search")
+            unresolved = 0
             for features, value in zip(unique_pending, values):
+                if value is None:
+                    # Failed cell under on_error="collect"; leave it
+                    # uncached so a later call may retry it.
+                    unresolved += 1
+                    continue
                 self._cache[features] = value
                 self.evaluations += 1
+            if unresolved:
+                # Hill-climbing cannot rank candidates against holes:
+                # surface the first structured failure instead of
+                # letting a None poison the score comparison.
+                from repro.exec.faults import CellExecutionError
+
+                report = self.executor.last_report
+                failures = report.failures if report is not None else ()
+                raise CellExecutionError(
+                    failures[0] if failures else None,
+                    message=(f"{unresolved} of {len(unique_pending)} "
+                             f"candidate evaluations failed"
+                             + (f": {failures[0].summary()}"
+                                if failures else "")),
+                )
         elif unique_pending:
             self.evaluate_batch(unique_pending)
 

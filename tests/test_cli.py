@@ -53,3 +53,47 @@ class TestExecution:
                      "--scale", "tiny"])
         assert code == 0
         assert "raw weighted speedups" in capsys.readouterr().out
+
+
+class TestFailureHandling:
+    def test_malformed_jobs_env_is_a_clean_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        code = main(["compare", "--benchmarks", "gamess", "--policies", "lru",
+                     "--scale", "tiny", "--cache-dir", "off"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: REPRO_JOBS")
+        assert "Traceback" not in err
+
+    def test_malformed_fault_spec_is_a_clean_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "raise:every=two")
+        code = main(["compare", "--benchmarks", "gamess", "--policies", "lru",
+                     "--scale", "tiny", "--cache-dir", "off"])
+        assert code == 2
+        assert "REPRO_FAULT_INJECT" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_prints_partial_report(self, monkeypatch,
+                                                      capsys):
+        from repro.exec import runner as exec_runner
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(exec_runner, "_execute_cell", interrupt)
+        code = main(["compare", "--benchmarks", "gamess", "soplex",
+                     "--policies", "lru", "--scale", "tiny",
+                     "--cache-dir", "off"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "pending" in err
+
+    def test_failed_cells_exit_nonzero_with_table(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "raise:every=1,times=99")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        code = main(["compare", "--benchmarks", "gamess", "--policies", "lru",
+                     "--scale", "tiny", "--cache-dir", "off"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "failed cell" in err
+        assert "InjectedFault" in err

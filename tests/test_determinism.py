@@ -134,6 +134,35 @@ class TestPinnedHashes:
         _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
 
 
+class TestFaultedPins:
+    """Injected faults + recovery must reproduce the clean pins bit-for-bit.
+
+    Cell seeding depends only on the cache key — never the attempt
+    number, worker identity, or scheduling — so retried, requeued, and
+    serially-degraded executions are exact reruns.
+    """
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retried_raises_reproduce_pins(self, jobs, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "raise:every=2")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        engine = ParallelRunner(jobs=jobs, store=None, verbose=False,
+                                retries=2)
+        _assert_pinned(engine)
+        assert engine.last_report.retries > 0
+        assert engine.last_report.failures == ()
+
+    def test_worker_crashes_reproduce_pins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:every=3")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        engine = ParallelRunner(jobs=2, store=None, verbose=False, retries=1)
+        _assert_pinned(engine)
+        # every=3 selects one mix cell, so the (last) mix run really
+        # did lose a worker and rebuild its pool.
+        assert engine.last_report.pool_rebuilds >= 1
+        assert engine.last_report.failures == ()
+
+
 def _search_hash():
     from repro.search.evaluator import FeatureSetEvaluator
     from repro.search.hillclimb import hill_climb

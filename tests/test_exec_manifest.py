@@ -1,0 +1,179 @@
+"""Tests for run manifests and CLI ``resume``.
+
+The manifest turns the store's implicit resumability into explicit
+state: interrupted/failed runs can be listed, and ``repro.cli resume``
+re-drives exactly the unfinished cells (the completed ones are store
+hits).
+"""
+
+from repro.cli import main
+from repro.config import TINY
+from repro.exec import (
+    ParallelRunner,
+    ResultStore,
+    RunManifest,
+    SingleCell,
+    TraceSpec,
+    list_runs,
+    stable_hash,
+)
+
+CELLS = [
+    ("a" * 64, "gamess/lru", "single"),
+    ("b" * 64, "soplex/lru", "single"),
+    ("c" * 64, "mcf/lru", "single"),
+]
+
+
+class TestRunManifest:
+    def test_lifecycle(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, label="t",
+                                      command=["compare"], cells=CELLS)
+        assert manifest.pending() == {key for key, _, _ in CELLS}
+        assert not manifest.is_complete
+
+        manifest.mark(CELLS[0][0], "done")
+        manifest.mark(CELLS[1][0], "failed")
+        assert manifest.completed() == {CELLS[0][0]}
+        assert manifest.pending() == {CELLS[1][0], CELLS[2][0]}
+        assert "1/3 cells done, 1 failed" == manifest.progress()
+
+        # A failed cell that later succeeds becomes done.
+        manifest.mark(CELLS[1][0], "done")
+        manifest.mark(CELLS[2][0], "done")
+        assert manifest.is_complete
+
+    def test_reopen_continues_completion_log(self, tmp_path):
+        first = RunManifest.create(tmp_path, label="t",
+                                   command=["compare"], cells=CELLS)
+        first.mark(CELLS[0][0], "done")
+        again = RunManifest.create(tmp_path, label="t",
+                                   command=["compare"], cells=CELLS)
+        assert again.run_id == first.run_id
+        assert again.completed() == {CELLS[0][0]}
+
+    def test_load_and_list(self, tmp_path):
+        created = RunManifest.create(tmp_path, label="t",
+                                     command=["compare", "--scale", "tiny"],
+                                     cells=CELLS)
+        loaded = RunManifest.load(tmp_path, created.run_id)
+        assert loaded is not None
+        assert loaded.command == ["compare", "--scale", "tiny"]
+        assert loaded.cells == created.cells
+        assert [m.run_id for m in list_runs(tmp_path)] == [created.run_id]
+
+    def test_unreadable_manifest_is_skipped(self, tmp_path):
+        RunManifest.create(tmp_path, label="t", command=[], cells=CELLS)
+        (tmp_path / "runs" / "zz.json").write_text("not json")
+        assert len(list_runs(tmp_path)) == 1
+
+    def test_runner_records_manifest(self, tmp_path):
+        cells = [
+            SingleCell(
+                trace=TraceSpec(name, TINY.hierarchy.llc_bytes, 2_000),
+                policy="lru",
+                hierarchy=TINY.hierarchy,
+                warmup_fraction=TINY.warmup_fraction,
+            )
+            for name in ("gamess", "soplex")
+        ]
+        engine = ParallelRunner(jobs=1, store=ResultStore(tmp_path),
+                                verbose=False, command=["compare", "-x"])
+        engine.run(cells, label="t")
+        manifest = engine.last_manifest
+        assert manifest is not None
+        assert manifest.is_complete
+        assert manifest.command == ["compare", "-x"]
+        assert set(manifest.cells) == {stable_hash(c.key_payload())
+                                       for c in cells}
+
+    def test_single_cell_runs_skip_manifest(self, tmp_path):
+        cell = SingleCell(
+            trace=TraceSpec("gamess", TINY.hierarchy.llc_bytes, 2_000),
+            policy="lru",
+            hierarchy=TINY.hierarchy,
+            warmup_fraction=TINY.warmup_fraction,
+        )
+        engine = ParallelRunner(jobs=1, store=ResultStore(tmp_path),
+                                verbose=False)
+        engine.run([cell])
+        assert engine.last_manifest is None
+        assert list_runs(tmp_path) == []
+
+
+class TestCliResume:
+    def _victim_key(self):
+        scale = TINY
+        cell = SingleCell(
+            trace=TraceSpec("soplex", scale.hierarchy.llc_bytes,
+                            scale.segment_accesses),
+            policy="lru",
+            hierarchy=scale.hierarchy,
+            warmup_fraction=scale.warmup_fraction,
+        )
+        return stable_hash(cell.key_payload())
+
+    def test_failed_run_resumes_pending_cells_only(self, tmp_path,
+                                                   monkeypatch, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["compare", "--benchmarks", "gamess", "soplex",
+                "--policies", "lru", "--scale", "tiny", "--cache-dir", cache]
+        victim = self._victim_key()
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           f"raise:key={victim[:16]},times=99")
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "1 cell(s) failed" in err
+        assert "resume with" in err
+
+        [manifest] = list_runs(cache)
+        assert manifest.pending() == {victim}
+        assert manifest.command == argv
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert main(["resume", manifest.run_id[:12],
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        # The completed cell is a store hit; only the victim recomputes.
+        assert "hits=1/2" in out
+        [manifest] = list_runs(cache)
+        assert manifest.is_complete
+
+    def test_resume_lists_runs(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["resume", "--cache-dir", cache]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+        RunManifest.create(cache, label="t",
+                           command=["compare", "--scale", "tiny"], cells=CELLS)
+        assert main(["resume", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "resumable" in out
+        assert "compare --scale tiny" in out
+
+    def test_resume_rejects_unknown_and_ambiguous(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["resume", "feed", "--cache-dir", cache]) == 2
+        assert "no recorded run" in capsys.readouterr().err
+
+    def test_resume_needs_cache(self, capsys):
+        assert main(["resume", "--cache-dir", "off"]) == 2
+        assert "result cache" in capsys.readouterr().err
+
+    def test_complete_run_is_a_no_op(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        manifest = RunManifest.create(cache, label="t", command=["compare"],
+                                      cells=CELLS[:1])
+        manifest.mark(CELLS[0][0], "done")
+        assert main(["resume", manifest.run_id[:12],
+                     "--cache-dir", cache]) == 0
+        assert "already complete" in capsys.readouterr().out
+
+    def test_library_run_cannot_be_resumed(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        manifest = RunManifest.create(cache, label="lib", command=[],
+                                      cells=CELLS)
+        assert main(["resume", manifest.run_id[:12],
+                     "--cache-dir", cache]) == 2
+        assert "library" in capsys.readouterr().err

@@ -166,3 +166,56 @@ class TestResultStore:
     def test_rejects_nonpositive_max_entries(self, tmp_path):
         with pytest.raises(ValueError):
             ResultStore(tmp_path, max_entries=0)
+
+
+def _hammer(root: str, worker: int, count: int, max_entries: int) -> list:
+    """Write ``count`` blobs into a shared store; returns the keys used.
+
+    Runs in a child process: two of these interleaving put/_evict/
+    _rewrite_index against one directory is the concurrent-writer
+    scenario the advisory lock serializes.
+    """
+    store = ResultStore(root, max_entries=max_entries)
+    keys = []
+    for i in range(count):
+        key = stable_hash({"worker": worker, "i": i})
+        store.put(key, {"kind": "single", "result": [worker, i]})
+        keys.append(key)
+    return keys
+
+
+class TestConcurrentWriters:
+    def _run_pair(self, tmp_path, count, max_entries):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_hammer, str(tmp_path), worker, count,
+                                   max_entries)
+                       for worker in (1, 2)]
+            return [f.result() for f in futures]
+
+    def test_interleaved_eviction_keeps_store_consistent(self, tmp_path):
+        import re
+
+        self._run_pair(tmp_path, count=60, max_entries=20)
+        store = ResultStore(tmp_path, max_entries=20)
+        # Every surviving blob parses and carries the schema stamp.
+        for blob in store._blobs():
+            payload = json.loads(blob.read_text())
+            assert payload["schema"] == SCHEMA_VERSION
+        # The compacted index holds only well-formed relative paths.
+        pattern = re.compile(r"^[0-9a-f]{2}/[0-9a-f]{64}\.(json|bin)$")
+        for line in (tmp_path / "index.log").read_text().splitlines():
+            assert pattern.match(line), line
+        # And the store still works.
+        store.put("ab" * 32, {"kind": "single", "result": 1})
+        assert store.get("ab" * 32)["result"] == 1
+
+    def test_no_eviction_loses_no_acknowledged_write(self, tmp_path):
+        key_sets = self._run_pair(tmp_path, count=25, max_entries=100_000)
+        store = ResultStore(tmp_path)
+        for worker, keys in zip((1, 2), key_sets):
+            for i, key in enumerate(keys):
+                payload = store.get(key)
+                assert payload is not None, key
+                assert payload["result"] == [worker, i]
