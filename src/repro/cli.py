@@ -30,6 +30,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro import (
     TrainedMultiperspective,
     build_suite,
@@ -84,6 +85,11 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="abandon cells running longer than this "
                              "(default: $REPRO_CELL_TIMEOUT; off)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record spans and metrics to "
+                             "<cache>/runs/<run-id>.events.jsonl "
+                             "(also: REPRO_TELEMETRY=1); inspect with "
+                             "'repro.cli stats'")
 
 
 #: Engine backing the currently dispatched command, so the top-level
@@ -93,6 +99,12 @@ _ACTIVE_ENGINE: Optional[ParallelRunner] = None
 
 def _engine(args: argparse.Namespace) -> ParallelRunner:
     global _ACTIVE_ENGINE
+    # The telemetry switch is process-global; decide it both ways here
+    # so back-to-back main() calls in one process never leak state.
+    if getattr(args, "telemetry", False) or obs.telemetry_default():
+        obs.enable()
+    else:
+        obs.disable()
     _ACTIVE_ENGINE = ParallelRunner.from_options(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -286,6 +298,131 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_rows(events, wall_s: float, top: int):
+    """Aggregate span events into tree-ordered table rows."""
+    totals = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        path = event.get("path", event.get("name", "?"))
+        count, total = totals.get(path, (0, 0.0))
+        totals[path] = (count + 1, total + float(event.get("dur_s", 0.0)))
+    rows = []
+    for path in sorted(totals):
+        count, total = totals[path]
+        depth = path.count("/")
+        name = "  " * depth + path.rsplit("/", 1)[-1]
+        share = total / wall_s if wall_s > 0 else 0.0
+        rows.append([name, count, total, 1000.0 * total / count,
+                     f"{share:.0%}"])
+    return rows[: top if top > 0 else None]
+
+
+def _coverage(events, wall_s: float) -> float:
+    """Fraction of run wall time covered by top-level spans."""
+    drive = sum(float(e.get("dur_s", 0.0)) for e in events
+                if e.get("type") == "span" and e.get("cell") is None
+                and e.get("path") == "drive")
+    if drive <= 0.0:
+        drive = sum(float(e.get("dur_s", 0.0)) for e in events
+                    if e.get("type") == "span" and e.get("path") == "cell")
+    return min(1.0, drive / wall_s) if wall_s > 0 else 0.0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.events import list_event_logs, read_events
+    from repro.obs.metrics import Histogram
+    from repro.report import format_table
+
+    store = resolve_store(args.cache_dir)
+    if store is None:
+        print("error: stats needs the result cache "
+              "(--cache-dir / REPRO_CACHE_DIR is disabled)", file=sys.stderr)
+        return 2
+    logs = list(list_event_logs(store.root))
+    if not args.run_id:
+        if not logs:
+            print("no recorded telemetry (run a command with --telemetry)")
+            return 0
+        rows = []
+        for run_id, path in logs:
+            events = read_events(path)
+            run = events[0] if events and events[0].get("type") == "run" else {}
+            spans = sum(1 for e in events if e.get("type") == "span")
+            rows.append([run_id[:12], run.get("label", "?"),
+                         run.get("cells", "?"), spans,
+                         float(run.get("wall_s", 0.0))])
+        print(format_table(["run id", "label", "cells", "spans", "wall s"],
+                           rows))
+        return 0
+
+    matches = [(run_id, path) for run_id, path in logs
+               if run_id.startswith(args.run_id)]
+    if not matches:
+        print(f"error: no telemetry matches {args.run_id!r}", file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"error: run id {args.run_id!r} is ambiguous "
+              f"({len(matches)} matches); use more digits", file=sys.stderr)
+        return 2
+    run_id, path = matches[0]
+    events = read_events(path)
+    if not events:
+        print(f"error: telemetry for {run_id[:12]} is unreadable",
+              file=sys.stderr)
+        return 2
+    run = events[0] if events[0].get("type") == "run" else {}
+    wall_s = float(run.get("wall_s", 0.0))
+    print(f"run {run_id[:12]}  label={run.get('label', '?')}  "
+          f"jobs={run.get('jobs', '?')}  "
+          f"cells={run.get('cells', '?')}/{run.get('planned', '?')}  "
+          f"wall={wall_s:.2f}s")
+    print(f"span coverage: {_coverage(events, wall_s):.0%} of wall time")
+
+    span_rows = _span_rows(events, wall_s, args.top)
+    if span_rows:
+        print()
+        print(format_table(["span", "count", "total s", "mean ms", "wall"],
+                           span_rows))
+
+    counters = {}
+    for event in events:
+        if event.get("type") == "counter":
+            name = event.get("name", "?")
+            counters[name] = counters.get(name, 0) + int(event.get("value", 0))
+    if counters:
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        print()
+        print(format_table(["counter", "value"],
+                           [[name, value] for name, value
+                            in ranked[: args.top if args.top > 0 else None]]))
+
+    hists = {}
+    for event in events:
+        if event.get("type") != "hist":
+            continue
+        name = event.get("name", "?")
+        try:
+            if name in hists:
+                hists[name].merge(event)
+            else:
+                hists[name] = Histogram.from_dict(event)
+        except (KeyError, ValueError, TypeError):
+            continue
+    if hists:
+        rows = []
+        for name in sorted(hists):
+            hist = hists[name]
+            rows.append([name, hist.count, hist.mean,
+                         0.0 if hist.min is None else float(hist.min),
+                         0.0 if hist.max is None else float(hist.max),
+                         "/".join(str(c) for c in hist.counts)])
+        print()
+        print(format_table(
+            ["histogram", "count", "mean", "min", "max", "buckets"], rows))
+    return 0
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     store = resolve_store(args.cache_dir)
     if store is None:
@@ -404,7 +541,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result cache holding the run manifests "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
     resume.set_defaults(func=cmd_resume)
+
+    stats = sub.add_parser(
+        "stats", help="inspect recorded run telemetry (events.jsonl)")
+    stats.add_argument("run_id", nargs="?", default="",
+                       help="run-id prefix to inspect (omit to list runs "
+                            "with telemetry)")
+    stats.add_argument("--cache-dir", default="", metavar="DIR",
+                       help="result cache holding the event logs "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    stats.add_argument("--top", type=int, default=12, metavar="K",
+                       help="rows per span/metric table (0 = all)")
+    stats.set_defaults(func=cmd_stats)
     return parser
+
+
+def _finish_telemetry(engine: Optional[ParallelRunner]) -> None:
+    """Flush trailing engine-level spans and point at the event log."""
+    if engine is None or not obs.enabled():
+        return
+    path = engine.flush_telemetry()
+    if path is not None:
+        run_id = path.name.split(".", 1)[0]
+        print(f"telemetry: {path}\n"
+              f"inspect with: python -m repro.cli stats {run_id[:12]}",
+              file=sys.stderr)
 
 
 def _handle_interrupt() -> int:
@@ -443,6 +604,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     except KeyboardInterrupt:
         return _handle_interrupt()
+    finally:
+        _finish_telemetry(_ACTIVE_ENGINE)
+        # The telemetry switch is process-global; a finished command
+        # must never leave it on for whoever calls main() next.
+        obs.disable()
 
 
 if __name__ == "__main__":

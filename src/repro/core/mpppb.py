@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence, Tuple, Union
 
+from repro import obs
 from repro.cache.access import AccessContext
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.mdpp import MDPPPolicy
@@ -31,6 +32,13 @@ from repro.cache.replacement.srrip import SRRIPPolicy
 from repro.core.features import Feature, parse_feature_set
 from repro.core.predictor import MultiperspectivePredictor
 from repro.core.sampler import DEFAULT_THETA, MultiperspectiveSampler
+
+#: Telemetry bucket bounds for the predictor-confidence histogram.
+#: Confidence is a sum of up to 16 six-bit weights (each in [-32, 31]),
+#: so the practical range is roughly [-512, 496]; the buckets are
+#: densest around the decision thresholds (tau_3..tau_bypass live in
+#: roughly [0, 128]).
+CONFIDENCE_BUCKETS = (-256, -128, -64, -32, -16, 0, 16, 32, 64, 128, 256)
 
 
 @dataclass(frozen=True)
@@ -115,12 +123,19 @@ class MPPPBPolicy(ReplacementPolicy):
         self._indices = self.predictor.indices
         self._predict = self.predictor.predict
         self._observe = self.sampler.observe
+        # Telemetry: None when disabled, so the per-access cost of the
+        # confidence histogram is a single ``is not None`` test.  The
+        # histogram observes predictions; it never influences them.
+        self._conf_hist = obs.histogram("mpppb/confidence",
+                                        CONFIDENCE_BUCKETS)
 
     # -- prediction plumbing ----------------------------------------------
 
     def on_access(self, set_idx: int, ctx: AccessContext, hit: bool, way: int) -> None:
         indices = self._indices(ctx)
         self._confidence = confidence = self._predict(indices)
+        if self._conf_hist is not None:
+            self._conf_hist.observe(confidence)
         self._observe(set_idx, ctx, indices, confidence)
 
     # -- bypass -------------------------------------------------------------

@@ -62,6 +62,13 @@ class RunManifest:
     def done_path(self) -> Path:
         return self.root / f"{self.run_id}.done"
 
+    @property
+    def events_path(self) -> Path:
+        """Where this run's telemetry event log lives (``repro.obs``)."""
+        from repro.obs.events import EVENTS_SUFFIX
+
+        return self.root / f"{self.run_id}{EVENTS_SUFFIX}"
+
     @classmethod
     def create(cls, store_root, label: str, command: Sequence[str],
                cells: Sequence[Tuple[str, str, str]]) -> "RunManifest":

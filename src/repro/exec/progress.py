@@ -90,12 +90,26 @@ class ExecReport:
         return sum(1 for outcome in self.outcomes if outcome.cached)
 
     @property
+    def computed(self) -> int:
+        """Cells actually executed (neither cached nor failed)."""
+        return sum(1 for outcome in self.outcomes
+                   if not outcome.cached and not outcome.failed)
+
+    @property
     def misses(self) -> int:
-        return self.cells - self.hits
+        """Cache misses that went on to compute.
+
+        Failed cells are not misses: they never produced a result, so
+        counting them here (the old ``cells - hits``) under-reported
+        the warm-cache rate for batches with failures.
+        """
+        return self.computed
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.cells if self.cells else 0.0
+        """Hits over cache *lookups that could have hit* (hits+computed)."""
+        resolved = self.hits + self.computed
+        return self.hits / resolved if resolved else 0.0
 
     @property
     def cell_seconds(self) -> float:

@@ -29,6 +29,7 @@ worker per CPU and ``REPRO_CACHE_DIR=off`` disables the disk cache.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import time
@@ -72,6 +73,14 @@ from repro.exec.faults import (
 )
 from repro.exec.manifest import RunManifest
 from repro.exec.progress import CellOutcome, ExecReport
+from repro import obs
+from repro.obs.events import (
+    counter_event,
+    hist_event,
+    run_event,
+    span_event,
+    write_events,
+)
 from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
 from repro.policies import policy_factory
 from repro.search.evaluator import FeatureSetEvaluator
@@ -266,15 +275,18 @@ def _artifact_cache(root: Optional[str]) -> Optional[ArtifactCache]:
 
 def _segments(spec: TraceSpec,
               artifacts: Optional[ArtifactCache] = None) -> List[Segment]:
-    cached = _SEGMENTS.get(spec)
-    if cached is None:
-        if artifacts is not None:
-            cached = artifacts.load_segments(spec.payload())
+    # Span covers memo/artifact hits too: serial and parallel drives
+    # then emit equal span sets regardless of worker memoization.
+    with obs.span("trace-gen"):
+        cached = _SEGMENTS.get(spec)
         if cached is None:
-            cached = spec.build()
             if artifacts is not None:
-                artifacts.store_segments(spec.payload(), cached)
-        _SEGMENTS[spec] = cached
+                cached = artifacts.load_segments(spec.payload())
+            if cached is None:
+                cached = spec.build()
+                if artifacts is not None:
+                    artifacts.store_segments(spec.payload(), cached)
+            _SEGMENTS[spec] = cached
     return cached
 
 
@@ -598,32 +610,50 @@ Cell = Union[SingleCell, MixCell, SearchCell, SearchBatchCell]
 def _execute_cell(cell: Cell, key: str,
                   artifact_root: Optional[str] = None,
                   attempt: int = 1,
-                  in_worker: bool = False
-                  ) -> Tuple[Any, float, Dict[str, int]]:
+                  in_worker: bool = False,
+                  telemetry: bool = False
+                  ) -> Tuple[Any, float, Dict[str, int],
+                             Optional[Dict[str, Any]]]:
     """Run one cell with deterministic seeding.
 
-    Returns (result, seconds, artifact hit/miss deltas).  The artifact
-    cache only changes *where* trace and Stage-1 data come from, never
-    their values, so seeding and results are identical with it on,
-    off, cold, or warm.  ``attempt`` numbers retries (1-based) for the
-    fault-injection harness only — seeding depends solely on the key,
-    so a retried cell reproduces the first attempt's result exactly.
+    Returns (result, seconds, artifact hit/miss deltas, telemetry
+    payload).  The artifact cache only changes *where* trace and
+    Stage-1 data come from, never their values, so seeding and results
+    are identical with it on, off, cold, or warm.  ``attempt`` numbers
+    retries (1-based) for the fault-injection harness only — seeding
+    depends solely on the key, so a retried cell reproduces the first
+    attempt's result exactly.
+
+    With ``telemetry`` the cell runs under an isolated ``repro.obs``
+    capture — a fresh span collector and metrics registry — and the
+    payload travels back in the return tuple.  That one mechanism
+    covers both execution modes: worker processes (whose telemetry
+    global starts empty) and in-process serial runs (where the
+    parent's ambient context is saved and restored), so serial and
+    parallel drives produce identical per-cell span sets.  Telemetry
+    is purely observational — it never touches ``random`` — so the
+    pinned determinism hashes hold with it on or off.
     """
     plan = active_plan()
     if plan is not None:
         plan.fire(key, attempt, in_worker=in_worker)
     artifacts = _artifact_cache(artifact_root)
     before = artifacts.stats.counts() if artifacts is not None else {}
+    if telemetry:
+        obs.enable()
     random.seed(task_seed(key))
     started = time.perf_counter()
-    result = cell.run(artifacts)
+    with obs.capture() as tele_ctx:
+        with obs.span("cell"):
+            result = cell.run(artifacts)
     seconds = time.perf_counter() - started
+    tele = tele_ctx.payload() if tele_ctx is not None else None
     if artifacts is not None:
         after = artifacts.stats.counts()
         delta = {name: after[name] - before[name] for name in after}
     else:
         delta = {}
-    return result, seconds, delta
+    return result, seconds, delta, tele
 
 
 _AUTO_STORE = object()
@@ -702,6 +732,10 @@ class ParallelRunner:
         self.command: List[str] = list(command) if command else []
         self.last_report: Optional[ExecReport] = None
         self.last_manifest: Optional[RunManifest] = None
+        # Telemetry: where the most recent events.jsonl landed, plus a
+        # cursor over the parent-process span collector so each drive
+        # only writes the spans recorded since the previous one.
+        self.last_events_path = None
         # Trace/Stage-1 artifacts live in the same store as results and
         # ride its enable/disable switch; REPRO_ARTIFACT_CACHE=off opts
         # out of just the artifact layer (results stay cached).
@@ -736,6 +770,16 @@ class ParallelRunner:
         ``None`` in their result slot; ``last_report.failures`` holds
         the structured records.
         """
+        sink: List[Tuple[str, str, Optional[Dict[str, Any]]]] = []
+        try:
+            with obs.span("drive"):
+                return self._run_cells(cells, label, sink)
+        finally:
+            self._write_events(sink)
+
+    def _run_cells(self, cells: Sequence[Cell], label: str,
+                   sink: List[Tuple[str, str, Optional[Dict[str, Any]]]]
+                   ) -> List[Any]:
         started = time.perf_counter()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
@@ -763,12 +807,15 @@ class ParallelRunner:
         plan = active_plan()
 
         def settle(task: _Task, result: Any, seconds: float,
-                   delta: Dict[str, int]) -> None:
+                   delta: Dict[str, int],
+                   tele: Optional[Dict[str, Any]]) -> None:
             index = task.context
             results[index] = result
             outcomes[index] = CellOutcome(task.cell.label(), task.key, False,
                                           seconds, attempts=task.attempt)
             _merge_counts(artifact_counts, delta)
+            if tele is not None:
+                sink.append((task.key, task.cell.label(), tele))
             self._store_result(task.cell, task.key, result, plan,
                                task.attempt)
             if manifest is not None:
@@ -805,6 +852,18 @@ class ParallelRunner:
         candidates (``None`` = one batch per scope), and fanned out
         like any other cells; singleton chunks run as plain cells.
         """
+        sink: List[Tuple[str, str, Optional[Dict[str, Any]]]] = []
+        try:
+            with obs.span("drive"):
+                return self._run_search_cells(cells, batch_size, label, sink)
+        finally:
+            self._write_events(sink)
+
+    def _run_search_cells(
+            self, cells: Sequence[SearchCell], batch_size: Optional[int],
+            label: str,
+            sink: List[Tuple[str, str, Optional[Dict[str, Any]]]]
+    ) -> List[float]:
         started = time.perf_counter()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
@@ -870,10 +929,13 @@ class ParallelRunner:
         batched = 0
 
         def settle(task: _Task, result: Any, seconds: float,
-                   delta: Dict[str, int]) -> None:
+                   delta: Dict[str, int],
+                   tele: Optional[Dict[str, Any]]) -> None:
             nonlocal batches, batched
             chunk: Chunk = task.context
             _merge_counts(artifact_counts, delta)
+            if tele is not None:
+                sink.append((task.key, task.cell.label(), tele))
             if isinstance(task.cell, SearchBatchCell):
                 batches += 1
                 batched += len(chunk)
@@ -919,6 +981,96 @@ class ParallelRunner:
         if self.verbose:
             print(self.last_report.table())
         return results
+
+    # -- telemetry event sink -----------------------------------------------
+
+    @staticmethod
+    def _drain_parent_spans(ctx) -> List[Any]:
+        """Parent-context span records not yet written to any event log.
+
+        Engine-level spans (``drive``, the evaluator's ``search-gen-N``)
+        land in the parent process's ambient collector, which outlives
+        a single drive; the collector-side cursor ensures each record
+        is emitted exactly once even across multiple engines.
+        """
+        return ctx.collector.drain_new()
+
+    @staticmethod
+    def _run_counters(report: ExecReport) -> Dict[str, int]:
+        """Run-level counters derived from the drive's report."""
+        return {
+            "exec/cells": report.cells,
+            "exec/result-cache-hits": report.hits,
+            "exec/computed": report.computed,
+            "exec/failed-cells": report.failed,
+            "exec/trace-artifact-hits": report.trace_hits,
+            "exec/trace-artifact-misses": report.trace_misses,
+            "exec/stage1-artifact-hits": report.stage1_hits,
+            "exec/stage1-artifact-misses": report.stage1_misses,
+            "exec/retries": report.retries,
+            "exec/timeouts": report.timeouts,
+            "exec/requeued": report.requeued,
+            "exec/pool-rebuilds": report.pool_rebuilds,
+        }
+
+    def _write_events(self,
+                      sink: Sequence[Tuple[str, str, Optional[Dict[str, Any]]]]
+                      ) -> None:
+        """Merge this drive's telemetry into one ``events.jsonl``.
+
+        Requires telemetry on *and* an open manifest (the events file
+        lives beside it and shares its run id).  Best-effort: any
+        failure to write leaves the run's results untouched.
+        """
+        ctx = obs.current()
+        manifest = self.last_manifest
+        report = self.last_report
+        if ctx is None or manifest is None or report is None:
+            return
+        events: List[Dict[str, Any]] = [run_event(
+            manifest.run_id, report.label, report.wall_seconds, report.jobs,
+            report.planned, report.cells, time.time(),
+        )]
+        for record in self._drain_parent_spans(ctx):
+            events.append(span_event(None, None, record.to_dict()))
+        for name, value in self._run_counters(report).items():
+            if value:
+                events.append(counter_event(None, name, value))
+        for key, cell_label, payload in sink:
+            if not payload:
+                continue
+            for record in payload.get("spans", ()):
+                events.append(span_event(key, cell_label, record))
+            for name, value in sorted(payload.get("counters", {}).items()):
+                events.append(counter_event(key, name, value))
+            for name, hist in sorted(payload.get("hists", {}).items()):
+                events.append(hist_event(key, name, hist))
+        path = write_events(manifest.events_path, events)
+        if path is not None:
+            self.last_events_path = path
+
+    def flush_telemetry(self):
+        """Append parent spans that closed after the last drive.
+
+        The CLI calls this once per command so trailing engine-level
+        spans (the final ``search-gen-N``, for example) still reach the
+        most recent event log.  Returns that log's path, or ``None``.
+        """
+        ctx = obs.current()
+        if ctx is None or self.last_events_path is None:
+            return self.last_events_path
+        fresh = self._drain_parent_spans(ctx)
+        if not fresh:
+            return self.last_events_path
+        try:
+            with open(self.last_events_path, "a", encoding="utf-8") as handle:
+                for record in fresh:
+                    line = json.dumps(span_event(None, None, record.to_dict()),
+                                      separators=(",", ":"))
+                    handle.write(line + "\n")
+        except OSError:
+            return None
+        return self.last_events_path
 
     # -- shared fault-tolerant drive machinery ------------------------------
 
@@ -1017,8 +1169,9 @@ class ParallelRunner:
         while queue and stats.abort is None:
             task = queue.popleft()
             try:
-                result, seconds, delta = _execute_cell(
-                    task.cell, task.key, self.artifact_root, task.attempt)
+                result, seconds, delta, tele = _execute_cell(
+                    task.cell, task.key, self.artifact_root, task.attempt,
+                    False, obs.enabled())
             except KeyboardInterrupt:
                 queue.appendleft(task)
                 raise
@@ -1026,7 +1179,7 @@ class ParallelRunner:
                 self._after_failure(task, exc, "error", queue, stats, fail,
                                     split)
             else:
-                settle(task, result, seconds, delta)
+                settle(task, result, seconds, delta, tele)
 
     def _drive_parallel(self, queue: Deque[_Task], settle, fail, split,
                         stats: _DriveStats, workers: int) -> None:
@@ -1049,7 +1202,8 @@ class ParallelRunner:
                     try:
                         future = pool.submit(
                             _execute_cell, task.cell, task.key,
-                            self.artifact_root, task.attempt, True)
+                            self.artifact_root, task.attempt, True,
+                            obs.enabled())
                     except Exception:
                         queue.appendleft(task)
                         pool = self._recover_pool(pool, running, queue,
@@ -1067,7 +1221,7 @@ class ParallelRunner:
                 for future in done:
                     task = running.pop(future)
                     try:
-                        result, seconds, delta = future.result()
+                        result, seconds, delta, tele = future.result()
                     except BrokenProcessPool:
                         # The pool died under this future; whether this
                         # very cell crashed the worker is unknowable,
@@ -1081,7 +1235,7 @@ class ParallelRunner:
                         self._after_failure(task, exc, "error", queue, stats,
                                             fail, split)
                     else:
-                        settle(task, result, seconds, delta)
+                        settle(task, result, seconds, delta, tele)
                 if broken:
                     pool = self._recover_pool(pool, running, queue, stats,
                                               workers)

@@ -1,0 +1,140 @@
+"""JSONL event sink: one ``events.jsonl`` per recorded run.
+
+Events live beside the run manifests, under the result-store root::
+
+    <root>/runs/<run_id>.events.jsonl
+
+One line per event, four event types (``EVENT_SCHEMA`` versions the
+layout; readers ignore files with an unknown schema):
+
+* ``run`` — exactly one, first line: run id, label, wall seconds,
+  worker count, planned/settled cell counts, unix timestamp.
+* ``span`` — one per finished span.  ``cell`` carries the owning
+  cell's cache key (``null`` for engine-level spans such as ``drive``),
+  ``label`` the human cell label, ``path`` the slash-joined nesting.
+* ``counter`` — one per (cell, counter) pair, plus run-level totals
+  with ``cell: null`` (result-cache and artifact-cache hit counts,
+  fault-tolerance tallies).
+* ``hist`` — one per (cell, histogram): fixed bounds, bucket counts,
+  count/sum/min/max.
+
+Workers never write this file.  Their span and metric payloads travel
+back to the parent attached to cell results (see
+:func:`repro.exec.runner._execute_cell`), and the parent writes the
+merged file once per drive — so there is exactly one writer and the
+file needs no locking.  Writes are atomic (tmp + rename) and
+best-effort: a failed telemetry write never fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Bump when the event layout changes; readers skip unknown schemas.
+EVENT_SCHEMA = 1
+
+#: Filename suffix under ``<root>/runs/``.
+EVENTS_SUFFIX = ".events.jsonl"
+
+
+def events_path(store_root, run_id: str) -> Path:
+    """Where a run's event log lives (beside its manifest)."""
+    from repro.exec.manifest import MANIFEST_DIR
+
+    return Path(store_root) / MANIFEST_DIR / f"{run_id}{EVENTS_SUFFIX}"
+
+
+def run_event(run_id: str, label: str, wall_s: float, jobs: int,
+              planned: int, cells: int, ts: float) -> Dict[str, Any]:
+    return {
+        "type": "run",
+        "schema": EVENT_SCHEMA,
+        "run_id": run_id,
+        "label": label,
+        "wall_s": wall_s,
+        "jobs": jobs,
+        "planned": planned,
+        "cells": cells,
+        "ts": ts,
+    }
+
+
+def span_event(cell: Optional[str], label: Optional[str],
+               span: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": "span", "cell": cell, "label": label, **span}
+
+
+def counter_event(cell: Optional[str], name: str, value: int) -> Dict[str, Any]:
+    return {"type": "counter", "cell": cell, "name": name, "value": value}
+
+
+def hist_event(cell: Optional[str], name: str,
+               hist: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": "hist", "cell": cell, "name": name, **hist}
+
+
+def write_events(path, events: Iterable[Dict[str, Any]]) -> Optional[Path]:
+    """Atomically (re)write one run's event log; ``None`` on failure.
+
+    Re-driving the same run (``repro.cli resume``) replaces the log
+    with the latest drive's events, mirroring how the manifest's
+    completion state converges.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, separators=(",", ":")))
+                handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        return None
+    return path
+
+
+def read_events(path) -> List[Dict[str, Any]]:
+    """Parse one event log; skips malformed lines, [] when unreadable."""
+    events: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+    except OSError:
+        return []
+    if events and events[0].get("type") == "run" \
+            and events[0].get("schema") not in (None, EVENT_SCHEMA):
+        return []
+    return events
+
+
+def list_event_logs(store_root) -> Iterator[Tuple[str, Path]]:
+    """Yield ``(run_id, path)`` for every event log, oldest first."""
+    from repro.exec.manifest import MANIFEST_DIR
+
+    root = Path(store_root) / MANIFEST_DIR
+    if not root.is_dir():
+        return
+    entries = []
+    for path in root.glob(f"*{EVENTS_SUFFIX}"):
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        entries.append((mtime, path.name, path))
+    entries.sort()
+    for _, name, path in entries:
+        yield name[: -len(EVENTS_SUFFIX)], path

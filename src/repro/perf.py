@@ -31,6 +31,15 @@ Report schema (``REPORT_SCHEMA``)::
         "vector_s": float|null,   # numpy fill + simulate_packed()
         "speedup": float|null
       },
+      "telemetry": {              # repro.obs instrumentation cost
+        "benchmark": str,
+        "disabled_s": float,      # replay, telemetry off (the default)
+        "enabled_s": float,       # replay inside obs.capture()
+        "enabled_overhead": float,    # enabled_s/disabled_s - 1
+        "null_span_ns": float,    # one disabled obs.span() round trip
+        "spans_per_replay": int,  # span records an enabled replay emits
+        "disabled_overhead": float    # estimated disabled-path fraction
+      },
       "compare": {                # end-to-end engine compare
         "benchmarks": [...], "policies": [...],
         "cold_s": float,          # empty artifact cache, empty memos
@@ -41,9 +50,11 @@ Report schema (``REPORT_SCHEMA``)::
 
 All timings are best-of-``repeats`` wall seconds: minimums are far more
 stable than means on shared CI runners.  :func:`check_report` gates two
-strength reductions that must never regress: fused-vs-legacy Stage 2
+strength reductions that must never regress — fused-vs-legacy Stage 2
 (``mpppb*`` policies only — nothing else uses the feature pipeline) and
-batched-vs-sequential candidate evaluation.
+batched-vs-sequential candidate evaluation — plus the telemetry
+disabled-path budget (estimated instrumentation cost with telemetry
+off must stay under 2% of a Stage-2 replay).
 """
 
 from __future__ import annotations
@@ -61,7 +72,10 @@ from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
 from repro.traces.workloads import build_segments
 
-REPORT_SCHEMA = 2
+REPORT_SCHEMA = 3
+# Instrumentation with telemetry disabled may cost at most this
+# fraction of a Stage-2 replay (the obs layer's headline promise).
+TELEMETRY_DISABLED_BUDGET = 0.02
 DEFAULT_REPORT = "BENCH_hotpath.json"
 DEFAULT_POLICIES = ("lru", "srrip", "mpppb-1a")
 # Cache-friendly workloads whose LLC streams are short: the shared
@@ -285,6 +299,76 @@ def bench_timing(scale: ReproScale, benchmark: str,
     }
 
 
+# -- telemetry overhead (repro.obs disabled fast path) ---------------------
+
+
+def bench_telemetry(scale: ReproScale, benchmark: str,
+                    repeats: int) -> Dict[str, Any]:
+    """Cost of the ``repro.obs`` instrumentation, on and off.
+
+    ``disabled_s`` vs ``enabled_s`` time the same mpppb Stage-2/3
+    replay (Stage 1 pre-seeded) with telemetry off and inside a fresh
+    :func:`repro.obs.capture` context.  The instrumented code cannot be
+    compared against an un-instrumented build, so the disabled-path
+    cost is *estimated*: one disabled :func:`repro.obs.span` round trip
+    is micro-timed (``null_span_ns``), multiplied by the span count an
+    enabled replay actually emits, and divided by the disabled replay
+    time.  That fraction — ``disabled_overhead`` — is what
+    :func:`check_report` holds under :data:`TELEMETRY_DISABLED_BUDGET`.
+    """
+    from repro import obs
+
+    hierarchy = scale.hierarchy
+    segments = build_segments(benchmark, hierarchy.llc_bytes,
+                              scale.segment_accesses)
+    runner = SingleThreadRunner(hierarchy,
+                                warmup_fraction=scale.warmup_fraction)
+    for segment in segments:
+        runner.upper_result(segment)
+
+    def replay() -> None:
+        for segment in segments:
+            runner.run_segment(segment, policy_factory("mpppb-1a", None))
+
+    obs.disable()
+    disabled_s = _best_of(repeats, replay)
+
+    spans_per_replay = 0
+    obs.enable()
+    try:
+        def enabled_replay() -> None:
+            with obs.capture():
+                replay()
+        enabled_s = _best_of(repeats, enabled_replay)
+        with obs.capture() as ctx:
+            replay()
+        spans_per_replay = len(ctx.payload()["spans"])
+    finally:
+        obs.disable()
+
+    calls = 200_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench"):
+            pass
+    null_span_ns = (time.perf_counter() - started) / calls * 1e9
+
+    disabled_overhead = (
+        spans_per_replay * null_span_ns * 1e-9 / disabled_s
+        if disabled_s > 0 else 0.0
+    )
+    return {
+        "benchmark": benchmark,
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "enabled_overhead": round(enabled_s / disabled_s - 1.0, 4)
+        if disabled_s > 0 else 0.0,
+        "null_span_ns": round(null_span_ns, 1),
+        "spans_per_replay": spans_per_replay,
+        "disabled_overhead": round(disabled_overhead, 6),
+    }
+
+
 # -- end-to-end compare (cold vs warm artifact cache) ----------------------
 
 
@@ -366,6 +450,7 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
         "hotpath": bench_hotpath(scale, benchmark, policies, repeats),
         "search-batch": bench_search_batch(scale, repeats),
         "timing": bench_timing(scale, benchmark, repeats),
+        "telemetry": bench_telemetry(scale, benchmark, repeats),
     }
     if cache_root is None:
         with tempfile.TemporaryDirectory() as tmp:
@@ -409,6 +494,15 @@ def check_report(report: Dict[str, Any],
                 f"{batched:.4f}s slower than sequential {sequential:.4f}s "
                 f"(tolerance x{tolerance})"
             )
+    telemetry = report.get("telemetry")
+    if telemetry is not None:
+        overhead = telemetry["disabled_overhead"]
+        if overhead > TELEMETRY_DISABLED_BUDGET:
+            failures.append(
+                f"telemetry: disabled-path instrumentation costs "
+                f"{overhead:.2%} of a Stage-2 replay "
+                f"(budget {TELEMETRY_DISABLED_BUDGET:.0%})"
+            )
     return failures
 
 
@@ -447,6 +541,15 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"  stage 3 {stage3['benchmark']:12s} "
                 f"scalar {stage3['scalar_s']:8.4f}s   (numpy unavailable)"
             )
+    telemetry = report.get("telemetry")
+    if telemetry is not None:
+        lines.append(
+            f"  obs     {telemetry['benchmark']:12s} "
+            f"off {telemetry['disabled_s']:8.4f}s   "
+            f"on {telemetry['enabled_s']:9.4f}s   "
+            f"(off-path {telemetry['disabled_overhead']:.2%}, "
+            f"null span {telemetry['null_span_ns']:.0f}ns)"
+        )
     cmp_ = report["compare"]
     lines.append(
         f"  compare {len(cmp_['policies'])} policies x "

@@ -55,6 +55,7 @@ def speedup_table(
     base = results[baseline]
     policies = [p for p in results if p != baseline]
     benchmarks = sorted(base)
+    _check_benchmark_sets(results, benchmarks, "speedup_table")
     rows: List[List[object]] = []
     for name in benchmarks:
         row: List[object] = [name]
@@ -70,10 +71,32 @@ def speedup_table(
     return format_table(["benchmark", *policies], rows)
 
 
+def _check_benchmark_sets(
+    results: Mapping[str, Dict[str, BenchmarkResult]],
+    benchmarks: Sequence[str],
+    table: str,
+) -> None:
+    """One-line ValueError when policies cover different benchmark sets.
+
+    Without this, ragged inputs surface as a bare ``KeyError`` from
+    deep inside the row loop (and an empty mapping as ``StopIteration``
+    in ``mpki_table``) — useless at the CLI boundary.
+    """
+    expected = set(benchmarks)
+    for policy, suite in results.items():
+        if set(suite) != expected:
+            raise ValueError(
+                f"{table}: policy {policy!r} covers benchmarks "
+                f"{sorted(suite)} but expected {sorted(expected)}")
+
+
 def mpki_table(results: Mapping[str, Dict[str, BenchmarkResult]]) -> str:
     """Per-benchmark MPKI table plus arithmetic means (Figure 7 layout)."""
+    if not results:
+        raise ValueError("mpki_table: empty results mapping")
     policies = list(results)
     benchmarks = sorted(next(iter(results.values())))
+    _check_benchmark_sets(results, benchmarks, "mpki_table")
     rows: List[List[object]] = []
     for name in benchmarks:
         rows.append([name, *(results[p][name].mpki for p in policies)])

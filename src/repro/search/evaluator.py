@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.features import Feature
 from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
 from repro.sim.batch import stage2_batch_enabled
@@ -66,6 +67,9 @@ class FeatureSetEvaluator:
         self.batch_size = batch_size
         self.evaluations = 0
         self._cache: Dict[tuple, float] = {}
+        # Telemetry: evaluate_many calls are the search's generations
+        # (one per random-search round or hill-climb neighborhood).
+        self._generation = 0
 
     @classmethod
     def from_spec(
@@ -186,6 +190,13 @@ class FeatureSetEvaluator:
         most ``batch_size`` candidates unless ``REPRO_STAGE2_BATCH=off``
         pins the sequential per-candidate path.
         """
+        self._generation += 1
+        with obs.span(f"search-gen-{self._generation}"):
+            return self._evaluate_many(feature_sets)
+
+    def _evaluate_many(
+        self, feature_sets: Sequence[Sequence[Feature]]
+    ) -> List[float]:
         keys = [tuple(features) for features in feature_sets]
         unique_pending: List[Tuple[Feature, ...]] = []
         seen = set()

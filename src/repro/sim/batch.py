@@ -53,7 +53,8 @@ from repro.core.features import (
 from repro.core.mpppb import MPPPBPolicy
 from repro.core.predictor import CONFIDENCE_MAX, CONFIDENCE_MIN
 from repro.predictors.base import partial_tag
-from repro.sim.llc import LLCAccess, LLCResult, LLCStats
+from repro import obs
+from repro.sim.llc import LLCAccess, LLCResult, LLCStats, flush_llc_metrics
 
 _DISABLED = ("off", "0", "false", "no", "none")
 
@@ -482,7 +483,13 @@ class BatchLLCSimulator:
         them.
         """
         columns = self._shared_pass(stream, pc_trace)
-        return [
+        replays = [
             self._replay(k, *columns, warmup)
             for k in range(len(self.policies))
         ]
+        if obs.enabled():
+            # Same once-per-replay aggregate flush as LLCSimulator.run;
+            # the inlined batch kernel itself stays instrumentation-free.
+            for policy, result in zip(self.policies, replays):
+                flush_llc_metrics(result.stats, policy)
+        return replays

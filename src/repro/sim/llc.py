@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro import obs
 from repro.cache.access import AccessContext
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.replacement.base import ReplacementPolicy
@@ -173,4 +174,37 @@ class LLCSimulator:
                     on_fill(set_idx, fill_way, ctx)
             last_was_miss[set_idx] = not hit
             append_outcome(hit)
+        if obs.enabled():
+            flush_llc_metrics(measured, policy)
         return LLCResult(outcomes=outcomes, stats=measured, warm_stats=warm)
+
+
+def flush_llc_metrics(stats: LLCStats, policy: ReplacementPolicy) -> None:
+    """Fold one replay's aggregate stats into the telemetry registry.
+
+    Called once per replay (never per access): the hot loop above pays
+    nothing for metrics beyond the single ``obs.enabled()`` test, and
+    the counters it reports are the aggregates it maintains anyway.
+    The flush is observation-only — the pinned determinism hashes are
+    identical with telemetry on or off.
+    """
+    obs.inc("llc/replays")
+    obs.inc("llc/accesses", stats.accesses)
+    obs.inc("llc/hits", stats.hits)
+    obs.inc("llc/misses", stats.misses)
+    obs.inc("llc/fills", stats.misses - stats.bypasses)
+    obs.inc("llc/bypasses", stats.bypasses)
+    obs.inc("llc/evictions", stats.evictions)
+    obs.inc("llc/demand-misses", stats.demand_misses)
+    sampler = getattr(policy, "sampler", None)
+    if sampler is not None:
+        live = getattr(sampler, "trainings_live", 0)
+        dead = getattr(sampler, "trainings_dead", 0)
+        obs.inc("sampler/trainings-live", live)
+        obs.inc("sampler/trainings-dead", dead)
+        obs.inc("sampler/trainings", live + dead)
+    # MPPPB decision counters (cumulative per policy, i.e. including
+    # warmup accesses — unlike the measured-window llc/* counters).
+    if hasattr(policy, "promotions_suppressed"):
+        obs.inc("mpppb/bypass-decisions", getattr(policy, "bypasses", 0))
+        obs.inc("mpppb/promotions-suppressed", policy.promotions_suppressed)

@@ -22,6 +22,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.lru import LRUPolicy
 from repro.cpu.timing import TimingConfig, TimingModel
@@ -119,6 +120,12 @@ class MultiProgrammedRunner:
 
     def thread_data(self, segment: Segment) -> ThreadData:
         """Stage-1 + standalone-LRU baseline for one segment, memoized."""
+        # Span covers the memo hit too, so serial and parallel drives
+        # (whose workers memoize independently) emit equal span sets.
+        with obs.span("stage1"):
+            return self._thread_data(segment)
+
+    def _thread_data(self, segment: Segment) -> ThreadData:
         cached = self._threads.get(segment.name)
         if cached is not None:
             return cached
@@ -174,7 +181,8 @@ class MultiProgrammedRunner:
         llc_bytes, ways, num_sets = self._geometry
         policy = policy_factory(num_sets, ways)
         sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
-        result = sim.run(merged, pc_trace=merged_pcs, warmup=0)
+        with obs.span("stage2"):
+            result = sim.run(merged, pc_trace=merged_pcs, warmup=0)
 
         # Scatter lap-0 outcomes back to per-thread outcome arrays.
         per_thread_outcomes: List[List[bool]] = [
@@ -195,18 +203,19 @@ class MultiProgrammedRunner:
         model = TimingModel(self.timing)
         ipcs = []
         total_measured_instr = 0
-        for thread_idx, thread in enumerate(threads):
-            trace = thread.segment.trace
-            events = demand_load_events(
-                trace, thread.upper, per_thread_outcomes[thread_idx],
-                self.timing, start_mem=thread.warm_mem,
-            )
-            measured_instr = thread.upper.num_instructions - (
-                thread.upper.instr_indices[thread.warm_mem]
-                if thread.warm_mem < len(trace.pcs) else 0
-            )
-            total_measured_instr += measured_instr
-            ipcs.append(model.simulate(events, measured_instr).ipc)
+        with obs.span("stage3-timing"):
+            for thread_idx, thread in enumerate(threads):
+                trace = thread.segment.trace
+                events = demand_load_events(
+                    trace, thread.upper, per_thread_outcomes[thread_idx],
+                    self.timing, start_mem=thread.warm_mem,
+                )
+                measured_instr = thread.upper.num_instructions - (
+                    thread.upper.instr_indices[thread.warm_mem]
+                    if thread.warm_mem < len(trace.pcs) else 0
+                )
+                total_measured_instr += measured_instr
+                ipcs.append(model.simulate(events, measured_instr).ipc)
 
         return MixResult(
             mix_name=mix.name,

@@ -32,6 +32,7 @@ try:  # numpy backs the vectorized Stage-3 event builder; optional.
 except ImportError:  # pragma: no cover - environment without numpy
     _np = None
 
+from repro import obs
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.core.mpppb import MPPPBConfig
 from repro.cpu.timing import TimingConfig, TimingModel
@@ -256,16 +257,21 @@ class SingleThreadRunner:
         are shared across processes and sessions; the in-memory memo
         still guarantees one (de)serialization per segment per runner.
         """
-        cached = self._stage1_cache.get(segment.name)
-        if cached is None:
-            store = self.stage1_store
-            if store is not None:
-                cached = store.load(segment)
+        # The span wraps the whole lookup — memo hits included — so a
+        # run's span *set* is identical whether this process computed
+        # the result, loaded it from the artifact store, or had it
+        # memoized already (only the durations differ).
+        with obs.span("stage1"):
+            cached = self._stage1_cache.get(segment.name)
             if cached is None:
-                cached = self._upper.run(segment.trace)
+                store = self.stage1_store
                 if store is not None:
-                    store.save(segment, cached)
-            self._stage1_cache[segment.name] = cached
+                    cached = store.load(segment)
+                if cached is None:
+                    cached = self._upper.run(segment.trace)
+                    if store is not None:
+                        store.save(segment, cached)
+                self._stage1_cache[segment.name] = cached
         return cached
 
     # -- stages 2 + 3 ----------------------------------------------------
@@ -283,7 +289,9 @@ class SingleThreadRunner:
         num_sets = llc_bytes // (ways * self.hierarchy.block_bytes)
         policy = policy_factory(num_sets, ways)
         sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
-        llc = sim.run(upper.llc_stream, pc_trace=trace.pcs, warmup=warm_llc)
+        with obs.span("stage2"):
+            llc = sim.run(upper.llc_stream, pc_trace=trace.pcs,
+                          warmup=warm_llc)
         return self._finish_segment(segment, upper, llc, warm_mem)
 
     def run_segment_batch(
@@ -310,8 +318,9 @@ class SingleThreadRunner:
         policies = [MPPPBPolicy(num_sets, ways, config) for config in configs]
         sim = BatchLLCSimulator(llc_bytes, ways, policies,
                                 self.hierarchy.block_bytes)
-        replays = sim.run(upper.llc_stream, pc_trace=trace.pcs,
-                          warmup=warm_llc)
+        with obs.span("stage2"):
+            replays = sim.run(upper.llc_stream, pc_trace=trace.pcs,
+                              warmup=warm_llc)
         return [
             self._finish_segment(segment, upper, llc, warm_mem)
             for llc in replays
@@ -334,18 +343,20 @@ class SingleThreadRunner:
             upper.instr_indices[warm_mem] if warm_mem < len(trace.pcs) else 0
         )
         model = TimingModel(self.timing)
-        if stage3_vector_enabled():
-            instr, latencies, depends = demand_load_arrays(
-                self._stage3_events(segment, upper, warm_mem),
-                llc.outcomes, self.timing,
-            )
-            timing_result = model.simulate_packed(
-                instr, latencies, depends, measured_instr)
-        else:
-            events = demand_load_events(
-                trace, upper, llc.outcomes, self.timing, start_mem=warm_mem
-            )
-            timing_result = model.simulate(events, measured_instr)
+        with obs.span("stage3-timing"):
+            if stage3_vector_enabled():
+                instr, latencies, depends = demand_load_arrays(
+                    self._stage3_events(segment, upper, warm_mem),
+                    llc.outcomes, self.timing,
+                )
+                timing_result = model.simulate_packed(
+                    instr, latencies, depends, measured_instr)
+            else:
+                events = demand_load_events(
+                    trace, upper, llc.outcomes, self.timing,
+                    start_mem=warm_mem
+                )
+                timing_result = model.simulate(events, measured_instr)
         return SegmentResult(
             segment_name=segment.name,
             weight=segment.weight,

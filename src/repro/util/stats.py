@@ -74,9 +74,25 @@ def roc_curve(
     confidence exceeds the threshold.  The false positive rate is the
     fraction of live blocks mispredicted dead; the true positive rate
     is the fraction of dead blocks correctly predicted (Section 6.3).
+
+    Delegates to :func:`roc_curve_fast` when numpy is importable; the
+    pure-Python loop remains as the no-dependency fallback.  Both paths
+    produce equal points (counting threshold comparisons over the same
+    values), which ``tests/test_util_stats.py`` pins with hypothesis.
     """
     if len(confidences) != len(labels):
         raise ValueError("confidences and labels must have equal length")
+    try:
+        import numpy  # noqa: F401 - availability probe only
+    except ImportError:
+        return _roc_curve_scalar(confidences, labels, thresholds)
+    return roc_curve_fast(confidences, labels, thresholds)
+
+
+def _roc_curve_scalar(
+    confidences: Sequence[float], labels: Sequence[bool], thresholds: Sequence[float]
+) -> List[RocPoint]:
+    """Pure-Python ROC fallback (and parity oracle for the fast path)."""
     dead_total = sum(1 for label in labels if label)
     live_total = len(labels) - dead_total
     points = []

@@ -32,6 +32,19 @@ class TestParser:
         args = build_parser().parse_args(["mix", "--mixes", "2"])
         assert args.mixes == 2
 
+    def test_telemetry_flag(self):
+        args = build_parser().parse_args(["compare", "--telemetry"])
+        assert args.telemetry is True
+        assert build_parser().parse_args(["compare"]).telemetry is False
+
+    def test_stats_arguments(self):
+        args = build_parser().parse_args(["stats"])
+        assert not args.run_id
+        assert args.top == 12
+        args = build_parser().parse_args(["stats", "abc123", "--top", "0"])
+        assert args.run_id == "abc123"
+        assert args.top == 0
+
 
 class TestExecution:
     def test_compare_unknown_benchmark_fails_cleanly(self, capsys):
@@ -53,6 +66,62 @@ class TestExecution:
                      "--scale", "tiny"])
         assert code == 0
         assert "raw weighted speedups" in capsys.readouterr().out
+
+
+class TestStats:
+    def _record(self, tmp_path, capsys):
+        """One telemetry-enabled compare; returns its cache dir."""
+        cache = str(tmp_path / "cache")
+        code = main(["compare", "--benchmarks", "gamess", "soplex",
+                     "--policies", "lru", "mpppb-1a", "--scale", "tiny",
+                     "--telemetry", "--cache-dir", cache])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        assert "repro.cli stats" in err
+        return cache
+
+    def test_list_mode(self, tmp_path, capsys):
+        cache = self._record(tmp_path, capsys)
+        assert main(["stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "run id" in out
+        assert "compare/mpppb-1a" in out
+
+    def test_render_mode(self, tmp_path, capsys):
+        cache = self._record(tmp_path, capsys)
+        from repro.obs.events import list_event_logs
+
+        run_ids = [run_id for run_id, _ in list_event_logs(cache)]
+        assert run_ids
+        assert main(["stats", run_ids[-1][:12], "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "span coverage" in out
+        assert "cell" in out
+        assert "llc/accesses" in out
+        assert "mpppb/confidence" in out
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["stats", "--cache-dir", str(tmp_path / "none")]) == 0
+        assert "no recorded telemetry" in capsys.readouterr().out
+
+    def test_unknown_prefix(self, tmp_path, capsys):
+        cache = self._record(tmp_path, capsys)
+        assert main(["stats", "zzzz", "--cache-dir", cache]) == 2
+        assert "no telemetry matches" in capsys.readouterr().err
+
+    def test_telemetry_does_not_leak_across_commands(self, tmp_path, capsys):
+        from repro import obs
+
+        self._record(tmp_path, capsys)
+        assert not obs.enabled()
+        # A later command without the flag must not record anything.
+        cache2 = str(tmp_path / "cache2")
+        code = main(["compare", "--benchmarks", "gamess", "soplex",
+                     "--policies", "lru", "--scale", "tiny",
+                     "--cache-dir", cache2])
+        assert code == 0
+        assert "telemetry:" not in capsys.readouterr().err
 
 
 class TestFailureHandling:

@@ -163,6 +163,36 @@ class TestFaultedPins:
         assert engine.last_report.failures == ()
 
 
+class TestTelemetryPins:
+    """Telemetry reads ``perf_counter`` and its own counters — never the
+    ``random`` module or simulator state — so every pin must reproduce
+    bit-for-bit with instrumentation recording."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_pins_unchanged_with_telemetry(self, jobs, tmp_path):
+        from repro import obs
+        from repro.exec.store import ResultStore as Store
+
+        obs.enable()
+        try:
+            store = Store(tmp_path / "cache")
+            engine = ParallelRunner(jobs=jobs, store=store, verbose=False)
+            _assert_pinned(engine)
+            assert engine.last_events_path is not None
+            assert engine.last_events_path.exists()
+        finally:
+            obs.disable()
+
+    def test_search_pin_unchanged_with_telemetry(self):
+        from repro import obs
+
+        obs.enable()
+        try:
+            assert _search_hash() == SEARCH_HASH
+        finally:
+            obs.disable()
+
+
 def _search_hash():
     from repro.search.evaluator import FeatureSetEvaluator
     from repro.search.hillclimb import hill_climb

@@ -281,3 +281,46 @@ class TestReport:
         assert report.jobs == 1
         assert "unit" in report.summary()
         assert "computed" in report.table()
+
+    def test_failed_cells_are_not_cache_misses(self, monkeypatch):
+        """Regression: failed cells used to inflate ``misses`` (and so
+        deflate ``hit_rate``) as if they had computed a result."""
+        from repro.exec.cachekey import stable_hash
+
+        cells = _single_cells()
+        victim = stable_hash(cells[0].key_payload())
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           f"raise:key={victim},times=99")
+        engine = ParallelRunner(jobs=1, store=None, verbose=False,
+                                on_error="collect")
+        engine.run(cells, label="unit")
+        report = engine.last_report
+        assert report.failed == 1
+        assert report.computed == len(cells) - 1
+        assert report.misses == len(cells) - 1
+        assert report.hit_rate == 0.0
+        assert report.hits == 0
+
+    def test_hit_rate_excludes_failures(self, tmp_path, monkeypatch):
+        from repro.exec.cachekey import stable_hash
+        from repro.exec.store import ResultStore
+
+        cells = _single_cells()
+        store = ResultStore(tmp_path / "cache")
+        ParallelRunner(jobs=1, store=store, verbose=False).run(cells)
+        # Warm store, one cell poisoned: the failure must not drag the
+        # hit rate below 100% of *resolved* cells.
+        victim = stable_hash(cells[0].key_payload())
+        for blob in list(store.root.glob("??/*.json")):
+            if blob.stem == victim:
+                blob.unlink()
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           f"raise:key={victim},times=99")
+        engine = ParallelRunner(jobs=1, store=store, verbose=False,
+                                on_error="collect")
+        engine.run(cells, label="unit")
+        report = engine.last_report
+        assert report.failed == 1
+        assert report.hits == len(cells) - 1
+        assert report.computed == 0
+        assert report.hit_rate == 1.0

@@ -65,6 +65,13 @@ class TestSpeedupTable:
         with pytest.raises(ValueError):
             speedup_table({"mpppb": {}}, baseline="lru")
 
+    def test_ragged_benchmark_sets_rejected(self):
+        # Previously a bare KeyError from inside the row loop.
+        results = self._results()
+        del results["mpppb"]["y"]
+        with pytest.raises(ValueError, match="speedup_table.*mpppb"):
+            speedup_table(results)
+
 
 class TestMpkiTable:
     def test_contains_means(self):
@@ -75,6 +82,21 @@ class TestMpkiTable:
         table = mpki_table(results)
         assert "15.000" in table  # mean of 10 and 20
         assert "mean" in table
+
+    def test_empty_results_rejected(self):
+        # Previously surfaced as StopIteration from next(iter(...)).
+        with pytest.raises(ValueError, match="empty results"):
+            mpki_table({})
+
+    def test_ragged_benchmark_sets_rejected(self):
+        # Previously a bare KeyError from inside the row loop.
+        results = {
+            "lru": {"x": bench_result("x", 1.0, 10.0),
+                    "y": bench_result("y", 1.0, 20.0)},
+            "srrip": {"x": bench_result("x", 1.0, 9.0)},
+        }
+        with pytest.raises(ValueError, match="mpki_table.*srrip"):
+            mpki_table(results)
 
 
 class TestMultiSummaries:

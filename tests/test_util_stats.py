@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.util.stats import (
     RocPoint,
+    _roc_curve_scalar,
     arithmetic_mean,
     auc,
     geometric_mean,
@@ -122,6 +123,27 @@ class TestRocCurve:
     def test_rejects_length_mismatch(self):
         with pytest.raises(ValueError):
             roc_curve([1.0], [True, False], [0.0])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=-100, max_value=100),
+                      st.booleans()),
+            min_size=1, max_size=60),
+        st.lists(st.floats(min_value=-120, max_value=120),
+                 min_size=1, max_size=12),
+    )
+    def test_scalar_and_fast_never_drift(self, samples, thresholds):
+        """roc_curve delegates to the fast path; this property pins the
+        retained scalar fallback to it so the two cannot diverge."""
+        conf = [c for c, _ in samples]
+        labels = [lab for _, lab in samples]
+        slow = _roc_curve_scalar(conf, labels, thresholds)
+        fast = roc_curve_fast(conf, labels, thresholds)
+        assert len(slow) == len(fast)
+        for a, b in zip(slow, fast):
+            assert a.threshold == pytest.approx(b.threshold)
+            assert a.false_positive_rate == pytest.approx(b.false_positive_rate)
+            assert a.true_positive_rate == pytest.approx(b.true_positive_rate)
 
 
 class TestAuc:
