@@ -27,6 +27,7 @@ re-drives the unfinished cells.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -472,7 +473,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multiperspective Reuse Prediction reproduction CLI",
+        epilog="Accelerator knobs (all bit-identical to the reference "
+               "simulator): REPRO_STAGE2_KERNEL=off|numpy|numba selects "
+               "the columnar Stage-2 replay backend (default: best "
+               "available), REPRO_STAGE2_BATCH=off disables shared-context "
+               "batching, REPRO_STAGE3_VECTOR=off disables vectorized "
+               "timing.  --stage2-kernel overrides the first knob for "
+               "one invocation.",
     )
+    parser.add_argument(
+        "--stage2-kernel", default=None,
+        choices=["off", "numpy", "numba", "auto"], metavar="BACKEND",
+        help="Stage-2 replay kernel backend (off|numpy|numba|auto); "
+             "overrides REPRO_STAGE2_KERNEL for this invocation")
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="compare policies on benchmarks")
@@ -590,6 +603,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Record the launching argv (for run manifests / `resume`) exactly
     # as the subcommand received it.
     args.argv = list(argv) if argv is not None else list(sys.argv[1:])
+    if getattr(args, "stage2_kernel", None):
+        os.environ["REPRO_STAGE2_KERNEL"] = args.stage2_kernel
     _ACTIVE_ENGINE = None
     try:
         return args.func(args)

@@ -7,11 +7,15 @@ policy compare against cold and warm artifact caches, producing the
 Report schema (``REPORT_SCHEMA``)::
 
     {
-      "schema": 1,                # REPORT_SCHEMA, not the cache schema
+      "schema": 4,                # REPORT_SCHEMA, not the cache schema
       "scale": "tiny",
       "benchmark": "soplex",      # hot-path micro-benchmark workload
       "accesses": 4000,
       "repeats": 3,               # best-of-N for every timing
+      "backends": {               # what this host could actually run,
+        "numpy": bool,            # so trajectory comparisons between
+        "numba": bool             # reports aren't apples-to-oranges
+      },
       "hotpath": {
         "trace_gen_s": float,     # synthesize all segments once
         "stage1_s": float,        # upper-level hierarchy, all segments
@@ -24,6 +28,15 @@ Report schema (``REPORT_SCHEMA``)::
         "sequential_s": float,    # REPRO_STAGE2_BATCH=off (per candidate)
         "batched_s": float,       # shared-context batch replay
         "speedup": float          # sequential_s / batched_s
+      },
+      "kernel": {                 # columnar Stage-2 replay kernel
+        "k": int, "segments": int, "accesses": int,
+        "python_s": float,        # REPRO_STAGE2_KERNEL=off (batched
+                                  # bytecode replay, the PR 3 path)
+        "numpy_s": float|null,    # columnar numpy backend
+        "numba_s": float|null,    # numba JIT backend (post-warmup)
+        "numpy_speedup": float|null,  # python_s / numpy_s
+        "numba_speedup": float|null   # python_s / numba_s
       },
       "timing": {                 # Stage 3 alone, scalar vs vectorized
         "benchmark": str, "loads": int,
@@ -49,12 +62,18 @@ Report schema (``REPORT_SCHEMA``)::
     }
 
 All timings are best-of-``repeats`` wall seconds: minimums are far more
-stable than means on shared CI runners.  :func:`check_report` gates two
-strength reductions that must never regress — fused-vs-legacy Stage 2
-(``mpppb*`` policies only — nothing else uses the feature pipeline) and
-batched-vs-sequential candidate evaluation — plus the telemetry
-disabled-path budget (estimated instrumentation cost with telemetry
-off must stay under 2% of a Stage-2 replay).
+stable than means on shared CI runners.  :func:`check_report` gates
+three strength reductions that must never regress — fused-vs-legacy
+Stage 2 (``mpppb*`` policies only — nothing else uses the feature
+pipeline), batched-vs-sequential candidate evaluation, and the columnar
+numpy kernel (at least :data:`KERNEL_MIN_SPEEDUP` x over the batched
+bytecode replay) — plus the telemetry disabled-path budget (estimated
+instrumentation cost with telemetry off must stay under 2% of a
+Stage-2 replay).
+
+Micro-benchmarks that time a *specific* Stage-2 implementation pin
+``REPRO_STAGE2_KERNEL`` explicitly, so the measurements keep meaning
+what their names say regardless of the ambient knob.
 """
 
 from __future__ import annotations
@@ -72,10 +91,13 @@ from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
 from repro.traces.workloads import build_segments
 
-REPORT_SCHEMA = 3
+REPORT_SCHEMA = 4
 # Instrumentation with telemetry disabled may cost at most this
 # fraction of a Stage-2 replay (the obs layer's headline promise).
 TELEMETRY_DISABLED_BUDGET = 0.02
+# The columnar numpy kernel must beat the batched bytecode replay by
+# at least this factor on the Stage-2 replay itself.
+KERNEL_MIN_SPEEDUP = 1.5
 DEFAULT_REPORT = "BENCH_hotpath.json"
 DEFAULT_POLICIES = ("lru", "srrip", "mpppb-1a")
 # Cache-friendly workloads whose LLC streams are short: the shared
@@ -138,16 +160,20 @@ def bench_hotpath(scale: ReproScale, benchmark: str,
     for segment in segments:
         runner.upper_result(segment)
 
+    # Fused-vs-legacy times the *sequential* feature pipelines, so the
+    # columnar kernel (which bypasses per-access feature evaluation
+    # entirely and has its own bench section) is pinned off here.
     stage2: Dict[str, Dict[str, float]] = {}
-    for policy in policies:
-        timings: Dict[str, float] = {}
-        for pipeline in ("fused", "legacy"):
-            with _pipeline(pipeline):
-                timings[pipeline] = _best_of(repeats, lambda: [
-                    runner.run_segment(s, policy_factory(policy, None))
-                    for s in segments
-                ])
-        stage2[policy] = timings
+    with _env("REPRO_STAGE2_KERNEL", "off"):
+        for policy in policies:
+            timings: Dict[str, float] = {}
+            for pipeline in ("fused", "legacy"):
+                with _pipeline(pipeline):
+                    timings[pipeline] = _best_of(repeats, lambda: [
+                        runner.run_segment(s, policy_factory(policy, None))
+                        for s in segments
+                    ])
+            stage2[policy] = timings
 
     return {
         "trace_gen_s": round(trace_gen_s, 6),
@@ -205,10 +231,14 @@ def bench_search_batch(scale: ReproScale, repeats: int,
         evaluator._cache.clear()
         evaluator.evaluate_many(candidates)
 
-    with _env("REPRO_STAGE2_BATCH", "off"):
-        sequential_s = _best_of(repeats, evaluate)
-    with _env("REPRO_STAGE2_BATCH", "on"):
-        batched_s = _best_of(repeats, evaluate)
+    # Both arms pin the kernel off: this section isolates the batched
+    # bytecode engine against K sequential replays, the comparison the
+    # REPRO_STAGE2_BATCH knob picks between.
+    with _env("REPRO_STAGE2_KERNEL", "off"):
+        with _env("REPRO_STAGE2_BATCH", "off"):
+            sequential_s = _best_of(repeats, evaluate)
+        with _env("REPRO_STAGE2_BATCH", "on"):
+            batched_s = _best_of(repeats, evaluate)
     return {
         "k": len(candidates),
         "segments": len(segments),
@@ -217,6 +247,92 @@ def bench_search_batch(scale: ReproScale, repeats: int,
         "batched_s": round(batched_s, 6),
         "speedup": (round(sequential_s / batched_s, 3)
                     if batched_s > 0 else float("inf")),
+    }
+
+
+# -- columnar Stage-2 kernel (bytecode replay vs numpy vs numba) -----------
+
+
+def bench_kernel(scale: ReproScale, repeats: int,
+                 k: int = 8) -> Dict[str, Any]:
+    """Time the Stage-2 replay itself under each kernel backend.
+
+    Same workload shape as :func:`bench_search_batch` (three
+    benchmarks, a hill-climb-neighborhood candidate batch), but timing
+    :meth:`~repro.sim.batch.BatchLLCSimulator.run` directly — the
+    acceptance gate is on the Stage-2 replay, and the evaluator's
+    fixed Stage-3/aggregation cost would dilute it.  Fresh policies
+    are built inside the timed region (identical across arms, so the
+    ratio is unaffected).  The numba arm is timed only when numba is
+    importable, after one untimed warmup replay so JIT compilation is
+    excluded (steady-state cost is what a long search pays).
+    """
+    import random
+
+    from repro.core.features import parse_feature_set, perturb_feature
+    from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+    from repro.core.presets import TABLE_1A_SPECS
+    from repro.sim.batch import BatchLLCSimulator
+    from repro.sim.kernel import available_backends
+    from repro.traces.workloads import all_segments
+
+    hierarchy = scale.hierarchy
+    accesses = max(2_000, scale.segment_accesses // 4)
+    segments = all_segments(hierarchy.llc_bytes, accesses,
+                            names=["gamess", "lbm", "soplex"])
+    upper = UpperLevels(hierarchy)
+    stage1 = [(upper.run(s.trace), s.trace) for s in segments]
+
+    rng = random.Random(2017)
+    base = list(parse_feature_set(TABLE_1A_SPECS))
+    candidates = [tuple(base)]
+    seen = {tuple(feature.spec() for feature in base)}
+    while len(candidates) < k:
+        mutated = list(base)
+        victim = rng.randrange(len(mutated))
+        mutated[victim] = perturb_feature(mutated[victim], rng)
+        spec = tuple(feature.spec() for feature in mutated)
+        if spec in seen:
+            continue
+        seen.add(spec)
+        candidates.append(tuple(mutated))
+
+    ways = hierarchy.llc_ways
+    num_sets = hierarchy.llc_bytes // (ways * hierarchy.block_bytes)
+
+    def replay() -> None:
+        for upper_result, trace in stage1:
+            policies = [
+                MPPPBPolicy(num_sets, ways, MPPPBConfig(features=features))
+                for features in candidates
+            ]
+            sim = BatchLLCSimulator(hierarchy.llc_bytes, ways, policies,
+                                    hierarchy.block_bytes)
+            sim.run(upper_result.llc_stream, pc_trace=trace.pcs,
+                    warmup=len(upper_result.llc_stream) // 4)
+
+    backends = available_backends()
+    with _env("REPRO_STAGE2_KERNEL", "off"):
+        python_s = _best_of(repeats, replay)
+    numpy_s = numba_s = None
+    if backends["numpy"]:
+        with _env("REPRO_STAGE2_KERNEL", "numpy"):
+            numpy_s = round(_best_of(repeats, replay), 6)
+    if backends["numba"]:
+        with _env("REPRO_STAGE2_KERNEL", "numba"):
+            replay()  # untimed JIT warmup
+            numba_s = round(_best_of(repeats, replay), 6)
+    return {
+        "k": len(candidates),
+        "segments": len(segments),
+        "accesses": accesses,
+        "python_s": round(python_s, 6),
+        "numpy_s": numpy_s,
+        "numba_s": numba_s,
+        "numpy_speedup": (round(python_s / numpy_s, 3)
+                          if numpy_s else None),
+        "numba_speedup": (round(python_s / numba_s, 3)
+                          if numba_s else None),
     }
 
 
@@ -327,8 +443,12 @@ def bench_telemetry(scale: ReproScale, benchmark: str,
         runner.upper_result(segment)
 
     def replay() -> None:
-        for segment in segments:
-            runner.run_segment(segment, policy_factory("mpppb-1a", None))
+        # Kernel pinned off so both timings cover the *same* (fully
+        # instrumented, sequential) replay loop — telemetry-on runs
+        # always take that loop for its per-access observations.
+        with _env("REPRO_STAGE2_KERNEL", "off"):
+            for segment in segments:
+                runner.run_segment(segment, policy_factory("mpppb-1a", None))
 
     obs.disable()
     disabled_s = _best_of(repeats, replay)
@@ -440,6 +560,8 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
     """Run the full harness; returns the report payload."""
     import tempfile
 
+    from repro.sim.kernel import available_backends
+
     scale = get_scale(scale_name)
     report: Dict[str, Any] = {
         "schema": REPORT_SCHEMA,
@@ -447,8 +569,10 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
         "benchmark": benchmark,
         "accesses": scale.segment_accesses,
         "repeats": repeats,
+        "backends": available_backends(),
         "hotpath": bench_hotpath(scale, benchmark, policies, repeats),
         "search-batch": bench_search_batch(scale, repeats),
+        "kernel": bench_kernel(scale, repeats),
         "timing": bench_timing(scale, benchmark, repeats),
         "telemetry": bench_telemetry(scale, benchmark, repeats),
     }
@@ -472,6 +596,9 @@ def check_report(report: Dict[str, Any],
       noise.
     * Batched K-candidate evaluation must not be slower than K
       per-candidate replays.
+    * The columnar numpy kernel must beat the batched bytecode replay
+      by at least :data:`KERNEL_MIN_SPEEDUP` on the Stage-2 replay
+      (skipped when numpy is unavailable on the host).
 
     Returns a list of failure messages (empty = pass).
     """
@@ -493,6 +620,16 @@ def check_report(report: Dict[str, Any],
                 f"search-batch: batched {batch['k']}-candidate evaluation "
                 f"{batched:.4f}s slower than sequential {sequential:.4f}s "
                 f"(tolerance x{tolerance})"
+            )
+    kernel = report.get("kernel")
+    if kernel is not None and kernel.get("numpy_s"):
+        python_s, numpy_s = kernel["python_s"], kernel["numpy_s"]
+        if numpy_s * KERNEL_MIN_SPEEDUP > python_s * tolerance:
+            failures.append(
+                f"kernel: numpy Stage-2 replay {numpy_s:.4f}s is only "
+                f"{python_s / numpy_s:.2f}x over the batched Python "
+                f"path {python_s:.4f}s (required "
+                f"{KERNEL_MIN_SPEEDUP:.1f}x, tolerance x{tolerance})"
             )
     telemetry = report.get("telemetry")
     if telemetry is not None:
@@ -526,6 +663,21 @@ def format_report(report: Dict[str, Any]) -> str:
             f"segments: sequential {batch['sequential_s']:.4f}s  "
             f"batched {batch['batched_s']:.4f}s  "
             f"({batch['speedup']:.2f}x)"
+        )
+    kernel = report.get("kernel")
+    if kernel is not None:
+        backends = report.get("backends", {})
+        parts = [f"python {kernel['python_s']:.4f}s"]
+        for name in ("numpy", "numba"):
+            seconds = kernel.get(f"{name}_s")
+            if seconds is not None:
+                parts.append(f"{name} {seconds:.4f}s "
+                             f"({kernel[f'{name}_speedup']:.2f}x)")
+            elif not backends.get(name, False):
+                parts.append(f"{name} n/a")
+        lines.append(
+            f"  kernel  {kernel['k']} candidates x {kernel['segments']} "
+            f"segments: " + "  ".join(parts)
         )
     stage3 = report.get("timing")
     if stage3 is not None:

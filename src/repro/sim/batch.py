@@ -234,12 +234,14 @@ def _compile_eval(entries: Tuple[Tuple, ...],
 
 def _build_programs(
     feature_sets: Sequence[Sequence[Feature]],
-) -> Tuple[Callable, List[Tuple[Tuple, ...]], bool]:
+) -> Tuple[Callable, List[Tuple[Tuple, ...]], bool, Tuple[Tuple, ...]]:
     """Shared function + per-candidate entry layouts for a batch.
 
     Static descriptors are deduplicated across the union of all
     candidates' features; each candidate's entries reference shared
     slot positions (offset by one when slot 0 holds the PC hash).
+    The slot list itself is returned too so the columnar kernel
+    (:mod:`repro.sim.kernel`) can lower the same layout to arrays.
     """
     slot_of: Dict[Tuple, int] = {}
     slots: List[Tuple] = []
@@ -266,7 +268,7 @@ def _build_programs(
                 entries.append(("slot", slot + base))
         entry_sets.append(tuple(entries))
     shared = _compile_shared(tuple(slots), needs_h)
-    return shared, entry_sets, needs_h
+    return shared, entry_sets, needs_h, tuple(slots)
 
 
 # -- the batched simulator -------------------------------------------------
@@ -320,8 +322,10 @@ class BatchLLCSimulator:
                 raise ValueError(
                     "batched candidates must share sampler geometry"
                 )
-        self._shared_fn, self._entry_sets, _ = _build_programs(
-            [policy.config.features for policy in policies]
+        self._shared_fn, self._entry_sets, self._needs_h, self._slots = (
+            _build_programs(
+                [policy.config.features for policy in policies]
+            )
         )
 
     # -- phase 1: candidate-invariant stream decode ---------------------
@@ -481,12 +485,25 @@ class BatchLLCSimulator:
         perceptron weights, bypass/promotion counters) finish exactly
         as K sequential :meth:`LLCSimulator.run` calls would leave
         them.
+
+        When ``REPRO_STAGE2_KERNEL`` selects a columnar backend, the
+        replay runs through :mod:`repro.sim.kernel` instead of the
+        per-access Python loop; the kernel declines (returns ``None``)
+        on unsupported preconditions and this path then falls back to
+        the bytecode replay, so results are identical either way.
         """
-        columns = self._shared_pass(stream, pc_trace)
-        replays = [
-            self._replay(k, *columns, warmup)
-            for k in range(len(self.policies))
-        ]
+        replays = None
+        from repro.sim.kernel import replay_batch, stage2_kernel_backend
+
+        backend = stage2_kernel_backend()
+        if backend != "off":
+            replays = replay_batch(self, stream, pc_trace, warmup, backend)
+        if replays is None:
+            columns = self._shared_pass(stream, pc_trace)
+            replays = [
+                self._replay(k, *columns, warmup)
+                for k in range(len(self.policies))
+            ]
         if obs.enabled():
             # Same once-per-replay aggregate flush as LLCSimulator.run;
             # the inlined batch kernel itself stays instrumentation-free.

@@ -1,0 +1,205 @@
+"""Columnar lowering of a Stage-1 LLC stream (the kernel's phase 1).
+
+The batched replay engine (:mod:`repro.sim.batch`) already splits a
+Stage-2 replay into a candidate-invariant *shared pass* and K
+per-candidate replays, but its shared pass still executes Python
+bytecode per access: one ``array('q')`` append per column plus one
+compiled static-slot call.  This module strength-reduces the shared
+pass itself to numpy array expressions over the whole stream:
+
+* **Stream columns** — block, set index, 16-bit partial tag, sampler
+  set, prefetch flag — become vectorized mask/shift/mod expressions.
+* **Static feature slots** — the deduplicated ``(source, lo, hi,
+  bits)`` extractions of :func:`repro.sim.batch._descriptor` — become
+  vectorized slice-and-fold pipelines, including the splitmix64 PC
+  hash (:func:`repro.util.hashing.mix64` replicated in wrapping
+  ``uint64`` arithmetic) and the PC-history gathers.
+
+Every column is bit-identical to what
+:meth:`~repro.sim.batch.BatchLLCSimulator._shared_pass` produces with
+scalar Python integers; ``tests/test_kernel.py`` pins the round trip.
+All intermediate arithmetic runs in ``uint64`` (64-bit address/PC
+slices and the hash multiplies overflow ``int64``) and results are
+narrowed to ``int64`` at the end, whose ``.tolist()`` yields the plain
+Python ints the replay backends index with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import BLOCK_OFFSET_BITS, MAX_TABLE_SIZE
+from repro.sim.llc import LLCAccess
+from repro.util.hashing import _GOLDEN64, _MIX1, _MIX2
+
+_XOR_MASK = MAX_TABLE_SIZE - 1
+
+
+def mix64_array(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized splitmix64 finalizer over a ``uint64`` array.
+
+    Mirrors :func:`repro.util.hashing.mix64` statement for statement;
+    numpy ``uint64`` arithmetic wraps modulo 2**64 exactly like the
+    ``& MASK64`` in the scalar version.
+    """
+    values = values + np.uint64(_GOLDEN64)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(_MIX1)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(_MIX2)
+    return values ^ (values >> np.uint64(31))
+
+
+def _slice_and_fold_array(source: "np.ndarray", lo: int, hi: int,
+                          bits: int) -> "np.ndarray":
+    """Vectorized ``bits[lo..hi]``-slice folded to ``bits`` wide.
+
+    The scalar fold (:func:`repro.core.features._fold_into`) XORs
+    ``bits``-wide chunks until the slice is exhausted; a fixed
+    ``ceil(width / bits)`` iteration count is equivalent because the
+    remaining value is zero afterwards and XOR with zero is identity.
+    """
+    width = hi - lo + 1
+    sliced = (source >> np.uint64(lo)) & np.uint64((1 << width) - 1)
+    if width <= bits:
+        return sliced.astype(np.int64)
+    fold_mask = np.uint64((1 << bits) - 1)
+    shift = np.uint64(bits)
+    folded = np.zeros_like(sliced)
+    for _ in range((width + bits - 1) // bits):
+        folded ^= sliced & fold_mask
+        sliced = sliced >> shift
+    return folded.astype(np.int64)
+
+
+@dataclass
+class StreamColumns:
+    """One stream lowered to typed columns, shared by every candidate.
+
+    ``cols`` holds one ``int64`` array per shared slot in the batch
+    engine's slot layout — slot 0 is the hashed PC when any feature
+    XORs — so a per-candidate ``("slot", j)`` entry reads ``cols[j]``.
+    The numpy replay backend indexes Python lists (scalar ``list``
+    subscripts beat zero-dim numpy scalars by a wide margin in a
+    bytecode loop); :meth:`as_lists` materializes them once, lazily.
+    """
+
+    n: int
+    blocks: Any
+    set_idxs: Any
+    tags: Any
+    samp_idxs: Any
+    prefetch: Any
+    cols: List[Any]
+    _lists: Optional[Tuple] = field(default=None, repr=False)
+
+    def as_lists(self) -> Tuple:
+        """Python-list views: (blocks, sets, tags, samps, pf, cols)."""
+        if self._lists is None:
+            self._lists = (
+                self.blocks.tolist(),
+                self.set_idxs.tolist(),
+                self.tags.tolist(),
+                self.samp_idxs.tolist(),
+                self.prefetch.tolist(),
+                [col.tolist() for col in self.cols],
+            )
+        return self._lists
+
+
+def lower_stream(
+    stream: Sequence[LLCAccess],
+    pc_trace: Sequence[int],
+    num_sets: int,
+    stride: int,
+    sampler_sets: int,
+    tag_bits: int,
+    slots: Sequence[Tuple],
+    needs_h: bool,
+) -> StreamColumns:
+    """Lower ``stream`` into :class:`StreamColumns` for ``slots``.
+
+    ``slots``/``needs_h`` come from the batch engine's
+    :func:`~repro.sim.batch._build_programs`; each slot descriptor is
+    ``("s"|"sx", (source, lo, hi, bits))`` with ``source`` one of
+    ``pc``/``addr``/``off``/``pd<depth>``.
+    """
+    n = len(stream)
+    pcs = np.fromiter((a.pc for a in stream), dtype=np.int64, count=n)
+    blocks = np.fromiter((a.block for a in stream), dtype=np.int64, count=n)
+    offsets = np.fromiter((a.offset for a in stream), dtype=np.int64,
+                          count=n)
+    mems = np.fromiter((a.mem_index for a in stream), dtype=np.int64,
+                       count=n)
+    prefetch = np.fromiter((a.is_prefetch for a in stream), dtype=np.uint8,
+                           count=n)
+
+    set_idxs = blocks & np.int64(num_sets - 1)
+    ublocks = blocks.astype(np.uint64)
+    tag_mask = np.uint64((1 << tag_bits) - 1)
+    tags = ((ublocks ^ (ublocks >> np.uint64(tag_bits))
+             ^ (ublocks >> np.uint64(2 * tag_bits)))
+            & tag_mask).astype(np.int64)
+
+    quotient = set_idxs // np.int64(stride)
+    sampled = (set_idxs % np.int64(stride) == 0) & (quotient < sampler_sets)
+    samp_idxs = np.where(sampled, quotient, np.int64(-1))
+
+    # Same history base the sequential AccessContext uses: prefetches
+    # observe the history *including* their triggering access.
+    hbase = mems + prefetch.astype(np.int64)
+    hist = np.asarray(pc_trace, dtype=np.int64)
+    hlen = len(hist)
+
+    hashed_pc = (mix64_array((pcs >> np.int64(2)).astype(np.uint64))
+                 & np.uint64(_XOR_MASK)).astype(np.int64)
+
+    sources: Dict[str, Any] = {}
+
+    def source_array(name: str) -> "np.ndarray":
+        known = sources.get(name)
+        if known is not None:
+            return known
+        if name == "pc":
+            value = pcs.astype(np.uint64)
+        elif name == "addr":
+            value = ((ublocks << np.uint64(BLOCK_OFFSET_BITS))
+                     | offsets.astype(np.uint64))
+        elif name == "off":
+            value = offsets.astype(np.uint64)
+        else:  # pd<depth>: PC-history probe, zero out of range
+            depth = int(name[2:])
+            idx = hbase - np.int64(depth)
+            if hlen == 0:
+                value = np.zeros(n, dtype=np.uint64)
+            else:
+                valid = (idx >= 0) & (idx < hlen)
+                value = np.where(
+                    valid, hist[np.clip(idx, 0, hlen - 1)], np.int64(0)
+                ).astype(np.uint64)
+        sources[name] = value
+        return value
+
+    static_cols: Dict[Tuple, Any] = {}
+    cols: List[Any] = [hashed_pc] if needs_h else []
+    for kind, raw in slots:
+        value = static_cols.get(raw)
+        if value is None:
+            source, lo, hi, bits = raw
+            value = _slice_and_fold_array(source_array(source), lo, hi,
+                                          bits)
+            static_cols[raw] = value
+        if kind == "sx":
+            value = (value ^ hashed_pc) & np.int64(_XOR_MASK)
+        cols.append(value)
+
+    return StreamColumns(
+        n=n,
+        blocks=blocks,
+        set_idxs=set_idxs,
+        tags=tags,
+        samp_idxs=samp_idxs,
+        prefetch=prefetch,
+        cols=cols,
+    )

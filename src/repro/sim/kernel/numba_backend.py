@@ -1,0 +1,487 @@
+"""Numba JIT replay backend: the kernel over flat arrays.
+
+This backend expresses the entire per-candidate replay —
+lookup, perceptron sum, sampler training and LRU shuffle, the MPPPB
+decision cascade, PLRU/SRRIP walks, fills and evictions — as one
+nopython-compatible function over flat numpy arrays
+(:func:`_kernel_py`).  At import time nothing requires numba: the
+function is plain Python (so the test suite can execute it undecorated
+and pin it against :class:`~repro.sim.llc.LLCSimulator` even on hosts
+without numba) and is ``numba.njit``-wrapped lazily on first use.
+
+State crosses the array boundary twice per replay: Python objects are
+*lowered* to arrays before the call (cache tags with ``-1`` for
+invalid ways, tree bits / RRPV rows, sampler sets as fixed-capacity
+rows plus a length column, weight tables as one flat vector with
+per-feature offsets, feature entries as kind/arg/xor descriptor
+vectors, the per-position training plans as CSR) and *written back*
+as plain Python ints afterwards, so downstream consumers — result
+hashing, artifact serialization, the sequential replay resuming on
+the same policy object — observe exactly the state the bytecode
+paths would have produced.
+
+Integer discipline matches the numpy backend: every array is
+``int64`` (weights saturate at ±32 so sums stay tiny; block addresses
+and partial tags fit comfortably), and ``.tolist()`` on the way out
+restores builtin ``int``/``bool``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.predictor import CONFIDENCE_MAX, CONFIDENCE_MIN
+from repro.core.sampler import SamplerEntry
+from repro.core.tables import WEIGHT_MAX, WEIGHT_MIN
+from repro.sim.llc import LLCResult, LLCStats
+
+_KIND_MDPP = 0
+_KIND_SRRIP = 1
+
+# Feature-entry kinds in the descriptor vectors.
+_F_SLOT = 0
+_F_CONST0 = 1
+_F_INSERT = 2
+_F_BURST = 3
+_F_LASTMISS = 4
+
+_XOR_MASK = 255
+
+_numba_checked = False
+_numba_ok = False
+_compiled = None
+
+
+def available() -> bool:
+    """True when numba imports; memoized, import deferred until asked."""
+    global _numba_checked, _numba_ok
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except ImportError:
+            _numba_ok = False
+    return _numba_ok
+
+
+def _kernel_py(n, warmup, blocks, set_idxs, tags, samp_idxs, prefetch,
+               slot_mat, nslots, needs_h,
+               feat_kind, feat_arg, feat_xor, nf, assoc,
+               fa_start, fa_feats, wflat, woff,
+               ctags, fills, tree_bits, rrpv,
+               s_tags, s_conf, s_idx, s_len, lastm, outcomes, counters,
+               scratch, kind, ways, levels, promote_pos, rrpv_max,
+               tau_bypass, tau1, tau2, tau3, p1, p2, p3, tau_np,
+               theta, sampler_ways):
+    """One candidate's full replay over flat arrays.
+
+    Counter layout: ``[0:4]`` warm (hits, demand hits, bypasses,
+    evictions), ``[4:8]`` measured ditto, ``[8]`` promotions
+    suppressed, ``[9]`` live trainings, ``[10]`` dead trainings.
+    Kept nopython-clean: scalar locals, no Python objects, no
+    ``for``/``else``.
+    """
+    for i in range(n):
+        block = blocks[i]
+        s = set_idxs[i]
+        way = -1
+        for w in range(ways):
+            if ctags[s, w] == block:
+                way = w
+                break
+        lm = lastm[s]
+        mru = 0
+        position = 0
+        if way >= 0:
+            if kind == _KIND_MDPP:
+                node = 0
+                for level in range(levels):
+                    d = (way >> (levels - 1 - level)) & 1
+                    if tree_bits[s, node] == d:
+                        position = (position << 1) | 1
+                    else:
+                        position = position << 1
+                    node = 2 * node + 1 + d
+                if position == 0:
+                    mru = 1
+            else:
+                if rrpv[s, way] == 0:
+                    mru = 1
+        ins = 0 if way >= 0 else 1
+        hv = slot_mat[i, 0] if needs_h == 1 else 0
+        total = 0
+        for f in range(nf):
+            fk = feat_kind[f]
+            if fk == _F_SLOT:
+                idx = slot_mat[i, feat_arg[f]]
+            elif fk == _F_CONST0:
+                idx = 0
+            else:
+                if fk == _F_INSERT:
+                    bit = ins
+                elif fk == _F_BURST:
+                    bit = mru
+                else:
+                    bit = lm
+                if feat_xor[f] == 1:
+                    idx = (bit ^ hv) & _XOR_MASK
+                else:
+                    idx = bit
+            scratch[f] = idx
+            total += wflat[woff[f] + idx]
+        if total > CONFIDENCE_MAX:
+            conf = CONFIDENCE_MAX
+        elif total < CONFIDENCE_MIN:
+            conf = CONFIDENCE_MIN
+        else:
+            conf = total
+
+        si = samp_idxs[i]
+        if si >= 0:
+            tag = tags[i]
+            length = s_len[si]
+            sp = -1
+            for j in range(length):
+                if s_tags[si, j] == tag:
+                    sp = j
+                    break
+            if sp >= 0:
+                if s_conf[si, sp] > -theta:
+                    for f in range(nf):
+                        if sp < assoc[f]:
+                            ti = woff[f] + s_idx[si, sp, f]
+                            v = wflat[ti]
+                            if v > WEIGHT_MIN:
+                                wflat[ti] = v - 1
+                            counters[9] += 1
+                bound = sp
+            else:
+                bound = length
+            for pos in range(bound):
+                fs = fa_start[pos + 1]
+                fe = fa_start[pos + 2]
+                if fe > fs and s_conf[si, pos] < theta:
+                    for jj in range(fs, fe):
+                        f = fa_feats[jj]
+                        ti = woff[f] + s_idx[si, pos, f]
+                        v = wflat[ti]
+                        if v < WEIGHT_MAX:
+                            wflat[ti] = v + 1
+                        counters[10] += 1
+            if sp >= 0:
+                top = sp
+            else:
+                top = length
+                if top >= sampler_ways:
+                    top = sampler_ways - 1
+                s_len[si] = top + 1
+            for j in range(top, 0, -1):
+                s_tags[si, j] = s_tags[si, j - 1]
+                s_conf[si, j] = s_conf[si, j - 1]
+                for f in range(nf):
+                    s_idx[si, j, f] = s_idx[si, j - 1, f]
+            s_tags[si, 0] = tag
+            s_conf[si, 0] = conf
+            for f in range(nf):
+                s_idx[si, 0, f] = scratch[f]
+
+        base = 0 if i < warmup else 4
+        pf = prefetch[i]
+        if way >= 0:
+            counters[base] += 1
+            if pf == 0:
+                counters[base + 1] += 1
+            outcomes[i] = 1
+            if conf > tau_np:
+                counters[8] += 1
+            else:
+                if kind == _KIND_MDPP:
+                    if position > promote_pos:
+                        node = 0
+                        for level in range(levels):
+                            d = (way >> (levels - 1 - level)) & 1
+                            t = (promote_pos >> (levels - 1 - level)) & 1
+                            if t == 1:
+                                tree_bits[s, node] = d
+                            else:
+                                tree_bits[s, node] = 1 - d
+                            node = 2 * node + 1 + d
+                else:
+                    rrpv[s, way] = 0
+            lastm[s] = 0
+        else:
+            if conf > tau_bypass:
+                counters[base + 2] += 1
+            else:
+                fw = fills[s]
+                if fw < ways:
+                    fills[s] = fw + 1
+                else:
+                    if kind == _KIND_MDPP:
+                        node = 0
+                        for level in range(levels):
+                            node = 2 * node + 1 + tree_bits[s, node]
+                        fw = node - (ways - 1)
+                    else:
+                        fw = -1
+                        while fw < 0:
+                            for w in range(ways):
+                                if rrpv[s, w] >= rrpv_max:
+                                    fw = w
+                                    break
+                            if fw < 0:
+                                for w in range(ways):
+                                    rrpv[s, w] = rrpv[s, w] + 1
+                    counters[base + 3] += 1
+                ctags[s, fw] = block
+                if conf > tau1:
+                    pp = p1
+                elif conf > tau2:
+                    pp = p2
+                elif conf > tau3:
+                    pp = p3
+                else:
+                    pp = 0
+                if kind == _KIND_MDPP:
+                    node = 0
+                    for level in range(levels):
+                        d = (fw >> (levels - 1 - level)) & 1
+                        t = (pp >> (levels - 1 - level)) & 1
+                        if t == 1:
+                            tree_bits[s, node] = d
+                        else:
+                            tree_bits[s, node] = 1 - d
+                        node = 2 * node + 1 + d
+                else:
+                    rrpv[s, fw] = pp
+            lastm[s] = 1
+    return 0
+
+
+def _get_compiled():
+    global _compiled
+    if _compiled is None:
+        import numba
+
+        _compiled = numba.njit(cache=False)(_kernel_py)
+    return _compiled
+
+
+def _entry_descriptors(entries) -> Tuple["np.ndarray", "np.ndarray",
+                                         "np.ndarray"]:
+    kinds, args, xors = [], [], []
+    family_kind = {"insert": _F_INSERT, "burst": _F_BURST,
+                   "lastmiss": _F_LASTMISS}
+    for entry in entries:
+        kind = entry[0]
+        if kind == "slot":
+            kinds.append(_F_SLOT)
+            args.append(entry[1])
+            xors.append(0)
+        elif kind == "const0":
+            kinds.append(_F_CONST0)
+            args.append(0)
+            xors.append(0)
+        else:
+            kinds.append(family_kind[entry[1]])
+            args.append(0)
+            xors.append(1 if entry[2] else 0)
+    return (np.asarray(kinds, dtype=np.int64),
+            np.asarray(args, dtype=np.int64),
+            np.asarray(xors, dtype=np.int64))
+
+
+def replay_all(sim, columns, warmup: int,
+               kernel=None) -> Optional[List[LLCResult]]:
+    """Replay every candidate of ``sim`` over ``columns`` via numba.
+
+    ``kernel`` defaults to the njit-compiled :func:`_kernel_py`; tests
+    pass the undecorated function to pin the kernel's *semantics*
+    without requiring numba on the host.
+    """
+    from repro.sim.kernel import numpy_backend
+
+    all_fills = []
+    for cache in sim.caches:
+        fills = numpy_backend.prefix_fills(cache)
+        if fills is None:
+            return None
+        all_fills.append(fills)
+    if kernel is None:
+        kernel = _get_compiled()
+
+    n = columns.n
+    warm_boundary = min(max(warmup, 0), n)
+    warm_prefetches = int(columns.prefetch[:warm_boundary].sum())
+    measured_prefetches = int(columns.prefetch[warm_boundary:].sum())
+    if columns.cols:
+        slot_mat = np.ascontiguousarray(np.stack(columns.cols, axis=1))
+    else:
+        slot_mat = np.zeros((n, 1), dtype=np.int64)
+    prefetch = columns.prefetch.astype(np.int64)
+
+    results = []
+    for k, policy in enumerate(sim.policies):
+        results.append(_replay_candidate(
+            sim, k, all_fills[k], kernel, n, warm_boundary,
+            warm_prefetches, measured_prefetches, columns, slot_mat,
+            prefetch))
+    return results
+
+
+def _replay_candidate(sim, k, fills, kernel, n, warm_boundary,
+                      warm_prefetches, measured_prefetches, columns,
+                      slot_mat, prefetch):
+    policy = sim.policies[k]
+    cache = sim.caches[k]
+    config = policy.config
+    sampler = policy.sampler
+    predictor = policy.predictor
+    default = policy.default
+    entries = sim._entry_sets[k]
+    nf = len(entries)
+    num_sets = cache.num_sets
+    ways = sim.ways
+
+    feat_kind, feat_arg, feat_xor = _entry_descriptors(entries)
+    assoc = np.asarray(predictor.associativities, dtype=np.int64)
+
+    # Per-position demotion plans as CSR over sampler._features_at
+    # (indexed by sampler position + 1, up to the sampler's ways).
+    fa_start = [0]
+    fa_feats: List[int] = []
+    for position in range(sampler.ways + 1):
+        fa_feats.extend(sampler._features_at[position])
+        fa_start.append(len(fa_feats))
+    fa_start_arr = np.asarray(fa_start, dtype=np.int64)
+    fa_feats_arr = np.asarray(fa_feats, dtype=np.int64)
+
+    woff = [0]
+    for table in predictor._weights:
+        woff.append(woff[-1] + len(table))
+    wflat = np.empty(woff[-1], dtype=np.int64)
+    for f, table in enumerate(predictor._weights):
+        wflat[woff[f]:woff[f + 1]] = table
+    woff_arr = np.asarray(woff, dtype=np.int64)
+
+    ctags = np.full((num_sets, ways), -1, dtype=np.int64)
+    for s in range(num_sets):
+        row = cache.tags[s]
+        count = fills[s]
+        for w in range(count):
+            ctags[s, w] = row[w]
+    fills_arr = np.asarray(fills, dtype=np.int64)
+
+    if type(default).__name__ == "MDPPPolicy":
+        kind = _KIND_MDPP
+        levels = default.trees[0].levels
+        promote_pos = default.promote_position
+        rrpv_max = 0
+        tree_bits = np.asarray([tree.bits for tree in default.trees],
+                               dtype=np.int64)
+        rrpv = np.zeros((1, 1), dtype=np.int64)
+    else:
+        kind = _KIND_SRRIP
+        levels = 0
+        promote_pos = 0
+        rrpv_max = default.rrpv_max
+        tree_bits = np.zeros((1, 1), dtype=np.int64)
+        rrpv = np.asarray(default.rrpvs, dtype=np.int64)
+
+    sampler_sets = len(sampler._sets)
+    sampler_ways = sampler.ways
+    s_tags = np.zeros((sampler_sets, sampler_ways), dtype=np.int64)
+    s_conf = np.zeros((sampler_sets, sampler_ways), dtype=np.int64)
+    s_idx = np.zeros((sampler_sets, sampler_ways, max(nf, 1)),
+                     dtype=np.int64)
+    s_len = np.zeros(sampler_sets, dtype=np.int64)
+    for si, entry_list in enumerate(sampler._sets):
+        s_len[si] = len(entry_list)
+        for j, entry in enumerate(entry_list):
+            s_tags[si, j] = entry.tag
+            s_conf[si, j] = entry.confidence
+            for f in range(nf):
+                s_idx[si, j, f] = entry.indices[f]
+
+    lastm = np.zeros(num_sets, dtype=np.int64)
+    outcomes = np.zeros(n, dtype=np.int64)
+    counters = np.zeros(11, dtype=np.int64)
+    scratch = np.zeros(max(nf, 1), dtype=np.int64)
+
+    kernel(n, warm_boundary, columns.blocks, columns.set_idxs,
+           columns.tags, columns.samp_idxs, prefetch,
+           slot_mat, slot_mat.shape[1], 1 if sim._needs_h else 0,
+           feat_kind, feat_arg, feat_xor, nf, assoc,
+           fa_start_arr, fa_feats_arr, wflat, woff_arr,
+           ctags, fills_arr, tree_bits, rrpv,
+           s_tags, s_conf, s_idx, s_len, lastm, outcomes, counters,
+           scratch, kind, ways, levels, promote_pos, rrpv_max,
+           config.tau_bypass, config.taus[0], config.taus[1],
+           config.taus[2], config.placements[0], config.placements[1],
+           config.placements[2], config.tau_no_promote,
+           sampler.theta, sampler_ways)
+
+    # -- write back ----------------------------------------------------
+    for s in range(num_sets):
+        count = int(fills_arr[s])
+        row = ctags[s].tolist()
+        tag_row = cache.tags[s]
+        valid_row = cache.valid[s]
+        for w in range(ways):
+            tag_row[w] = row[w] if w < count else -1
+            valid_row[w] = w < count
+        cache._where[s] = {row[w]: w for w in range(count)}
+    if kind == _KIND_MDPP:
+        bits_lists = tree_bits.tolist()
+        for s, tree in enumerate(default.trees):
+            tree.bits[:] = bits_lists[s]
+    else:
+        rrpv_lists = rrpv.tolist()
+        for s in range(num_sets):
+            default.rrpvs[s][:] = rrpv_lists[s]
+    flat = wflat.tolist()
+    for f, table in enumerate(predictor._weights):
+        table[:] = flat[woff[f]:woff[f + 1]]
+    new_sets = []
+    tag_lists = s_tags.tolist()
+    conf_lists = s_conf.tolist()
+    idx_lists = s_idx.tolist()
+    for si in range(sampler_sets):
+        count = int(s_len[si])
+        new_sets.append([
+            SamplerEntry(tag_lists[si][j], idx_lists[si][j][:nf],
+                         conf_lists[si][j])
+            for j in range(count)
+        ])
+    sampler._sets = new_sets
+
+    counts = counters.tolist()
+    policy.bypasses += counts[2] + counts[6]
+    policy.promotions_suppressed += counts[8]
+    sampler.trainings_live += counts[9]
+    sampler.trainings_dead += counts[10]
+
+    warm_stats = _segment_stats(warm_boundary, warm_prefetches, counts[0:4])
+    stats = _segment_stats(n - warm_boundary, measured_prefetches,
+                           counts[4:8])
+    return LLCResult(outcomes=outcomes.astype(bool).tolist(),
+                     stats=stats, warm_stats=warm_stats)
+
+
+def _segment_stats(accesses: int, prefetches: int, counts) -> LLCStats:
+    hits, demand_hits, bypasses, evictions = counts
+    demand_accesses = accesses - prefetches
+    return LLCStats(
+        accesses=accesses,
+        hits=hits,
+        misses=accesses - hits,
+        bypasses=bypasses,
+        evictions=evictions,
+        demand_accesses=demand_accesses,
+        demand_hits=demand_hits,
+        demand_misses=demand_accesses - demand_hits,
+    )

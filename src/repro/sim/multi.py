@@ -28,7 +28,7 @@ from repro.cache.replacement.lru import LRUPolicy
 from repro.cpu.timing import TimingConfig, TimingModel
 from repro.sim.hierarchy import HierarchyConfig, UpperLevelResult, UpperLevels
 from repro.sim.llc import LLCAccess, LLCSimulator
-from repro.sim.single import demand_load_events
+from repro.sim.single import demand_load_events, replay_segment
 from repro.traces.mixes import Mix
 from repro.traces.trace import Segment
 from repro.util.stats import mpki as mpki_of
@@ -180,9 +180,12 @@ class MultiProgrammedRunner:
 
         llc_bytes, ways, num_sets = self._geometry
         policy = policy_factory(num_sets, ways)
-        sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
         with obs.span("stage2"):
-            result = sim.run(merged, pc_trace=merged_pcs, warmup=0)
+            # Same kernel routing as single-core: MPPPB mixes ride the
+            # columnar Stage-2 kernel when it is enabled.
+            result = replay_segment(llc_bytes, ways, policy,
+                                    self.hierarchy.block_bytes, merged,
+                                    merged_pcs, 0)
 
         # Scatter lap-0 outcomes back to per-thread outcome arrays.
         per_thread_outcomes: List[List[bool]] = [

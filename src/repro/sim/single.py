@@ -223,6 +223,46 @@ def demand_load_arrays(
     return events.instr, latencies.tolist(), events.depends
 
 
+def replay_segment(
+    llc_bytes: int,
+    ways: int,
+    policy: ReplacementPolicy,
+    block_bytes: int,
+    llc_stream: Sequence,
+    pcs: Sequence[int],
+    warmup: int,
+) -> LLCResult:
+    """Stage-2 replay of one stream against one policy.
+
+    MPPPB policies route through a single-candidate
+    :class:`~repro.sim.batch.BatchLLCSimulator` when the columnar
+    kernel is active (``REPRO_STAGE2_KERNEL`` != off), so compare and
+    mix runs ride the kernel exactly like the batched search path; a
+    fresh simulator per segment makes this equivalent to
+    :class:`LLCSimulator` bit for bit (both start from cold
+    last-miss/ cache state).  Everything else — and the kernel-off
+    mode — uses the sequential simulator unchanged.
+
+    Instrumented runs (telemetry enabled) also stay on the sequential
+    simulator: it observes per-access detail — e.g. the MPPPB
+    confidence histogram — that the inlined replay loops deliberately
+    do not record.  Results are bit-identical either way; only the
+    emitted telemetry is richer.
+    """
+    from repro.core.mpppb import MPPPBPolicy
+
+    if isinstance(policy, MPPPBPolicy) and not obs.enabled():
+        from repro.sim.kernel import stage2_kernel_backend
+
+        if stage2_kernel_backend() != "off":
+            from repro.sim.batch import BatchLLCSimulator
+
+            sim = BatchLLCSimulator(llc_bytes, ways, [policy], block_bytes)
+            return sim.run(llc_stream, pc_trace=pcs, warmup=warmup)[0]
+    sim = LLCSimulator(llc_bytes, ways, policy, block_bytes)
+    return sim.run(llc_stream, pc_trace=pcs, warmup=warmup)
+
+
 class SingleThreadRunner:
     """Runs policies over workload segments with stage-1 caching."""
 
@@ -288,10 +328,10 @@ class SingleThreadRunner:
         ways = self.hierarchy.llc_ways
         num_sets = llc_bytes // (ways * self.hierarchy.block_bytes)
         policy = policy_factory(num_sets, ways)
-        sim = LLCSimulator(llc_bytes, ways, policy, self.hierarchy.block_bytes)
         with obs.span("stage2"):
-            llc = sim.run(upper.llc_stream, pc_trace=trace.pcs,
-                          warmup=warm_llc)
+            llc = replay_segment(llc_bytes, ways, policy,
+                                 self.hierarchy.block_bytes,
+                                 upper.llc_stream, trace.pcs, warm_llc)
         return self._finish_segment(segment, upper, llc, warm_mem)
 
     def run_segment_batch(

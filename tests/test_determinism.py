@@ -20,6 +20,7 @@ from repro.config import TINY
 from repro.exec import MixCell, ParallelRunner, SingleCell, SuiteSpec, TraceSpec
 from repro.exec.cachekey import stable_hash
 from repro.exec.store import ResultStore
+from repro.sim.kernel import available_backends
 from repro.traces.mixes import generate_mixes
 from repro.traces.workloads import build_suite
 
@@ -35,6 +36,16 @@ MIX_HASH = "bec8c2cfa975ef0b8cfff1a87c8ff4cb3e5bd2ef307d006b6c0d7e34e3c9426b"
 # produce these candidates and MPKIs whether Stage 2 replays candidates
 # one at a time or through the shared-context batch engine.
 SEARCH_HASH = "25451957fce2529e70cc7ebc80843c0475e3e04242d942b9d72584574e9534aa"
+
+# Stage-2 kernel backends: "off" always exists (per-access Python
+# replay); accelerated backends run wherever their import succeeds.
+_AVAILABLE = available_backends()
+_KERNEL_BACKENDS = ["off"] + [
+    pytest.param(name,
+                 marks=pytest.mark.skipif(not present,
+                                          reason=f"{name} not installed"))
+    for name, present in _AVAILABLE.items()
+]
 
 
 def _single_cells():
@@ -133,6 +144,12 @@ class TestPinnedHashes:
         monkeypatch.setenv("REPRO_STAGE3_VECTOR", vector)
         _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
 
+    @pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+    def test_stage2_kernel_backends(self, backend, monkeypatch):
+        """Every Stage-2 kernel backend reproduces the pinned hashes."""
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", backend)
+        _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False))
+
 
 class TestFaultedPins:
     """Injected faults + recovery must reproduce the clean pins bit-for-bit.
@@ -218,4 +235,10 @@ class TestSearchPinned:
     @pytest.mark.parametrize("mode", ["on", "off"])
     def test_stage2_batch_modes(self, mode, monkeypatch):
         monkeypatch.setenv("REPRO_STAGE2_BATCH", mode)
+        assert _search_hash() == SEARCH_HASH
+
+    @pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+    def test_stage2_kernel_backends(self, backend, monkeypatch):
+        """The batched search replay pins identically per kernel backend."""
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", backend)
         assert _search_hash() == SEARCH_HASH

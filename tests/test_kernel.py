@@ -1,0 +1,314 @@
+"""Columnar Stage-2 kernel: lowering, backends, knob, and fallbacks.
+
+Three contracts, each pinned independently:
+
+* **Lowering** — :func:`repro.sim.kernel.columns.lower_stream` must
+  reproduce the batch engine's scalar shared pass column for column
+  (blocks, set indices, partial tags, sampler sets, prefetch flags,
+  and every deduplicated static feature slot).
+* **Replay** — both kernel backends (the exec-specialized numpy loop
+  and the flat-array numba kernel, exercised undecorated so the test
+  runs without numba installed) must finish bit-identical to
+  :class:`~repro.sim.llc.LLCSimulator`: outcomes, stats, policy
+  counters, sampler entries, and perceptron weights.  A hypothesis
+  lockstep drive over adversarial random streams backs the fixed
+  workloads.
+* **Selection** — ``REPRO_STAGE2_KERNEL`` resolves per the knob
+  table; a requested-but-missing backend degrades one tier with a
+  one-line stderr notice, never an exception; unsupported cache
+  preconditions make the kernel decline so the batch engine falls
+  back to the Python replay with identical results.
+"""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TINY
+from repro.core.features import parse_feature_set, random_feature_set
+from repro.core.mpppb import MPPPBConfig, MPPPBPolicy
+from repro.core.presets import TABLE_1A_SPECS, TABLE_1B_SPECS
+from repro.sim import kernel as kernel_mod
+from repro.sim.batch import BatchLLCSimulator
+from repro.sim.hierarchy import UpperLevels
+from repro.sim.llc import LLCAccess, LLCSimulator
+from repro.traces.workloads import build_segments
+
+np = pytest.importorskip("numpy")
+
+from repro.sim.kernel import columns as columns_mod  # noqa: E402
+from repro.sim.kernel import numba_backend, numpy_backend  # noqa: E402
+
+LLC_BYTES = TINY.hierarchy.llc_bytes
+WAYS = TINY.hierarchy.llc_ways
+NUM_SETS = LLC_BYTES // (WAYS * 64)
+ACCESSES = 2_000
+
+
+@pytest.fixture(scope="module")
+def stage1():
+    segment = build_segments("soplex", LLC_BYTES, ACCESSES)[0]
+    upper = UpperLevels(TINY.hierarchy).run(segment.trace)
+    return upper.llc_stream, segment.trace.pcs
+
+
+def _configs(seed=7, k=4, default_policy="mdpp"):
+    rng = random.Random(seed)
+    feature_sets = [
+        parse_feature_set(TABLE_1A_SPECS),
+        parse_feature_set(TABLE_1B_SPECS),
+    ]
+    while len(feature_sets) < k:
+        feature_sets.append(random_feature_set(rng))
+    placements = (15, 13, 10) if default_policy == "mdpp" else (3, 2, 1)
+    return [
+        MPPPBConfig(features=features, default_policy=default_policy,
+                    placements=placements)
+        for features in feature_sets[:k]
+    ]
+
+
+def _batch(configs):
+    policies = [MPPPBPolicy(NUM_SETS, WAYS, c) for c in configs]
+    return BatchLLCSimulator(LLC_BYTES, WAYS, policies)
+
+
+def _lower(sim, stream, pcs):
+    first = sim.policies[0].sampler
+    return columns_mod.lower_stream(
+        stream, pcs, sim.num_sets, first.mapper._stride,
+        first.mapper.sampler_sets, first.tag_bits, sim._slots,
+        sim._needs_h,
+    )
+
+
+def _sequential(stream, pcs, config, warmup):
+    policy = MPPPBPolicy(NUM_SETS, WAYS, config)
+    sim = LLCSimulator(LLC_BYTES, WAYS, policy)
+    result = sim.run(stream, pc_trace=pcs, warmup=warmup)
+    return result, policy
+
+
+def _sampler_state(policy):
+    return [
+        [(e.tag, tuple(e.indices), e.confidence) for e in entries]
+        for entries in policy.sampler._sets
+    ]
+
+
+def _assert_identical(result, policy, seq_result, seq_policy):
+    assert result.outcomes == seq_result.outcomes
+    assert result.stats == seq_result.stats
+    assert result.warm_stats == seq_result.warm_stats
+    assert policy.bypasses == seq_policy.bypasses
+    assert policy.promotions_suppressed == seq_policy.promotions_suppressed
+    assert policy.sampler.trainings_live == seq_policy.sampler.trainings_live
+    assert policy.sampler.trainings_dead == seq_policy.sampler.trainings_dead
+    assert _sampler_state(policy) == _sampler_state(seq_policy)
+    assert policy.predictor._weights == seq_policy.predictor._weights
+
+
+# -- lowering round trip ---------------------------------------------------
+
+
+def test_columns_match_shared_pass(stage1):
+    """Vectorized lowering == the batch engine's scalar shared pass."""
+    stream, pcs = stage1
+    sim = _batch(_configs(k=4))
+    blocks, set_idxs, tags, samp_idxs, prefetch, slot_values = (
+        sim._shared_pass(stream, pcs)
+    )
+    cols = _lower(sim, stream, pcs)
+    assert cols.n == len(stream)
+    assert cols.blocks.tolist() == list(blocks)
+    assert cols.set_idxs.tolist() == list(set_idxs)
+    assert cols.tags.tolist() == list(tags)
+    assert cols.samp_idxs.tolist() == list(samp_idxs)
+    assert cols.prefetch.tolist() == list(prefetch)
+    per_access = list(zip(*(col.tolist() for col in cols.cols)))
+    assert per_access == slot_values
+
+
+def test_columns_empty_history_and_stream():
+    sim = _batch(_configs(k=2))
+    cols = _lower(sim, [], [])
+    assert cols.n == 0
+    assert cols.as_lists()[0] == []
+    access = LLCAccess(pc=0x4000, block=17, offset=8, is_write=False,
+                       is_prefetch=False, mem_index=0, instr_index=0)
+    blocks, *_rest, slot_values = sim._shared_pass([access], [])
+    cols = _lower(sim, [access], [])
+    assert cols.blocks.tolist() == list(blocks)
+    assert list(zip(*(c.tolist() for c in cols.cols))) == slot_values
+
+
+def test_mix64_array_matches_scalar():
+    from repro.util.hashing import mix64
+
+    raw = [0, 1, 0xDEADBEEF, (1 << 63) + 12345, 2**64 - 1]
+    mixed = columns_mod.mix64_array(np.array(raw, dtype=np.uint64))
+    assert mixed.tolist() == [mix64(v) for v in raw]
+
+
+# -- lockstep replay -------------------------------------------------------
+
+
+def _synthetic_stream(picks):
+    """Build an LLC stream + PC trace from hypothesis-drawn tuples."""
+    stream = []
+    pcs = []
+    for i, (pc, block, offset, pf) in enumerate(picks):
+        pcs.append(pc)
+        stream.append(LLCAccess(pc=pc, block=block, offset=offset,
+                                is_write=False, is_prefetch=pf,
+                                mem_index=i, instr_index=i))
+    return stream, pcs
+
+
+_access_st = st.tuples(
+    st.integers(min_value=0, max_value=2**40).map(lambda v: v << 2),
+    # Blocks from a small window so sets conflict, hit, and evict.
+    st.integers(min_value=0, max_value=NUM_SETS * (WAYS + 4)),
+    st.integers(min_value=0, max_value=63),
+    st.booleans(),
+)
+
+
+class TestLockstep:
+    @settings(max_examples=40, deadline=None)
+    @given(picks=st.lists(_access_st, min_size=1, max_size=120),
+           warmup=st.integers(min_value=0, max_value=130),
+           seed=st.integers(min_value=0, max_value=2**16),
+           default_policy=st.sampled_from(["mdpp", "srrip"]))
+    def test_numpy_kernel_lockstep(self, picks, warmup, seed,
+                                   default_policy):
+        """Random streams: numpy kernel == LLCSimulator, per access."""
+        stream, pcs = _synthetic_stream(picks)
+        configs = _configs(seed=seed, k=2, default_policy=default_policy)
+        sim = _batch(configs)
+        cols = _lower(sim, stream, pcs)
+        results = numpy_backend.replay_all(sim, cols, warmup)
+        assert results is not None
+        for config, policy, result in zip(configs, sim.policies, results):
+            seq_result, seq_policy = _sequential(stream, pcs, config,
+                                                 warmup)
+            _assert_identical(result, policy, seq_result, seq_policy)
+
+    @pytest.mark.parametrize("default_policy", ["mdpp", "srrip"])
+    def test_numba_semantics_lockstep(self, stage1, default_policy):
+        """The numba kernel's semantics, run undecorated, match the
+        sequential simulator on a real workload — so the JIT leg in CI
+        only re-proves compilation, not logic."""
+        stream, pcs = stage1
+        configs = _configs(k=3, default_policy=default_policy)
+        sim = _batch(configs)
+        cols = _lower(sim, stream, pcs)
+        results = numba_backend.replay_all(
+            sim, cols, warmup=500, kernel=numba_backend._kernel_py)
+        assert results is not None
+        for config, policy, result in zip(configs, sim.policies, results):
+            seq_result, seq_policy = _sequential(stream, pcs, config, 500)
+            _assert_identical(result, policy, seq_result, seq_policy)
+
+
+# -- backend selection and fallbacks ---------------------------------------
+
+
+@pytest.fixture
+def fresh_notices(monkeypatch):
+    """Reset the once-per-process notice dedup so tests can observe it."""
+    monkeypatch.setattr(kernel_mod, "_notices_emitted", set())
+
+
+class TestKnob:
+    def test_disabled_values(self, monkeypatch):
+        for value in ("off", "0", "false", "no", "none", "OFF"):
+            monkeypatch.setenv("REPRO_STAGE2_KERNEL", value)
+            assert kernel_mod.stage2_kernel_backend() == "off"
+
+    def test_auto_prefers_best_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STAGE2_KERNEL", raising=False)
+        resolved = kernel_mod.stage2_kernel_backend()
+        if kernel_mod._numba_available():
+            assert resolved == "numba"
+        else:
+            assert resolved == "numpy"  # numpy importorskip'd above
+
+    def test_unknown_value_degrades_to_auto(self, monkeypatch,
+                                            fresh_notices, capsys):
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", "gpu")
+        auto = kernel_mod.stage2_kernel_backend()
+        monkeypatch.delenv("REPRO_STAGE2_KERNEL")
+        assert auto == kernel_mod.stage2_kernel_backend()
+        assert "unknown REPRO_STAGE2_KERNEL" in capsys.readouterr().err
+
+    def test_missing_numba_falls_back_to_numpy(self, monkeypatch,
+                                               fresh_notices, capsys):
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", "numba")
+        monkeypatch.setattr(kernel_mod, "_numba_available", lambda: False)
+        assert kernel_mod.stage2_kernel_backend() == "numpy"
+        err = capsys.readouterr().err
+        assert "numba is not installed" in err
+        assert err.count("\n") == 1  # exactly one line
+        # Dedup: a second resolution stays silent.
+        assert kernel_mod.stage2_kernel_backend() == "numpy"
+        assert capsys.readouterr().err == ""
+
+    def test_missing_numpy_disables_kernel(self, monkeypatch,
+                                           fresh_notices, capsys):
+        monkeypatch.setattr(kernel_mod, "_np", None)
+        monkeypatch.setattr(kernel_mod, "_numba_available", lambda: False)
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", "numpy")
+        assert kernel_mod.stage2_kernel_backend() == "off"
+        assert "falling back to the Python replay" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_STAGE2_KERNEL")
+        assert kernel_mod.stage2_kernel_backend() == "off"
+        assert kernel_mod.replay_batch(None, [], [], 0, "numpy") is None
+
+    def test_available_backends_report(self):
+        report = kernel_mod.available_backends()
+        assert report["numpy"] is True
+        assert isinstance(report["numba"], bool)
+
+
+class TestFallbacks:
+    def test_non_prefix_validity_declines(self, stage1):
+        """Oddly-shaped cache state makes the kernel decline, and the
+        batch engine's Python fallback still reproduces the sequential
+        results from that same state."""
+        stream, pcs = stage1
+        config = _configs(k=1)[0]
+        sim = _batch([config])
+        # Install into way 1 of set 0, leaving way 0 invalid: validity
+        # is no longer a prefix, which the columnar fill cursor cannot
+        # represent.
+        sim.caches[0].install(0, 1, NUM_SETS * 5)
+        assert numpy_backend.prefix_fills(sim.caches[0]) is None
+        cols = _lower(sim, stream, pcs)
+        assert numpy_backend.replay_all(sim, cols, 100) is None
+        results = sim.run(stream, pc_trace=pcs, warmup=100)
+
+        seq_policy = MPPPBPolicy(NUM_SETS, WAYS, config)
+        seq_sim = LLCSimulator(LLC_BYTES, WAYS, seq_policy)
+        seq_sim.cache.install(0, 1, NUM_SETS * 5)
+        seq_result = seq_sim.run(stream, pc_trace=pcs, warmup=100)
+        _assert_identical(results[0], sim.policies[0], seq_result,
+                          seq_policy)
+
+    def test_batch_run_uses_kernel(self, stage1, monkeypatch):
+        """BatchLLCSimulator.run really routes through the kernel."""
+        stream, pcs = stage1
+        monkeypatch.setenv("REPRO_STAGE2_KERNEL", "numpy")
+        calls = []
+        original = numpy_backend.replay_all
+
+        def spy(sim, cols, warmup):
+            calls.append(warmup)
+            return original(sim, cols, warmup)
+
+        monkeypatch.setattr(numpy_backend, "replay_all", spy)
+        sim = _batch(_configs(k=2))
+        sim.run(stream, pc_trace=pcs, warmup=250)
+        assert calls == [250]
