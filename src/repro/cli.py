@@ -424,6 +424,106 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """``500M``/``2G``-style sizes to bytes (plain ints pass through)."""
+    units = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    text = text.strip().lower().rstrip("b")
+    if text and text[-1] in units:
+        return int(float(text[:-1]) * units[text[-1]])
+    return int(text)
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec.artifacts import peek_kind
+    from repro.obs.events import list_event_logs, read_events
+    from repro.report import format_table
+
+    store = resolve_store(args.cache_dir)
+    if store is None:
+        print("error: cache maintenance needs the result cache "
+              "(--cache-dir / REPRO_CACHE_DIR is disabled)", file=sys.stderr)
+        return 2
+
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} blobs from {store.root}")
+        return 0
+
+    if args.action == "gc":
+        if args.max_entries is None and args.max_bytes is None:
+            print("error: cache gc needs --max-entries and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        max_bytes = _parse_size(args.max_bytes) if args.max_bytes else None
+        before = store.usage()
+        removed = store.gc(max_entries=args.max_entries, max_bytes=max_bytes)
+        after = store.usage()
+        print(f"gc: removed {removed} blobs "
+              f"({_format_bytes(before['bytes'] - after['bytes'])}); "
+              f"{after['entries']} blobs "
+              f"({_format_bytes(after['bytes'])}) remain")
+        return 0
+
+    # stats: usage totals, per-kind breakdown, recorded hit counters.
+    usage = store.usage()
+    print(f"cache {store.root}")
+    print(f"  {usage['entries']} blobs, {_format_bytes(usage['bytes'])}  "
+          f"(results: {usage['results']} / "
+          f"{_format_bytes(usage['result_bytes'])}, artifacts: "
+          f"{usage['artifacts']} / {_format_bytes(usage['artifact_bytes'])})")
+
+    kinds: dict = {}
+    for path in store._blobs():
+        if path.suffix == ".json":
+            continue
+        kind = peek_kind(path) or "?"
+        count, total = kinds.get(kind, (0, 0))
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        kinds[kind] = (count + 1, total + size)
+    if kinds:
+        rows = [[kind, count, _format_bytes(total)]
+                for kind, (count, total) in sorted(kinds.items())]
+        print(format_table(["artifact kind", "blobs", "bytes"], rows))
+
+    # Hit/miss counters live in per-run telemetry, not the store
+    # itself (lookups must stay write-free): sum the recorded runs.
+    counters: dict = {}
+    runs = 0
+    for _, path in list_event_logs(store.root):
+        events = read_events(path)
+        if not events:
+            continue
+        runs += 1
+        for event in events:
+            if event.get("type") == "counter" and event.get("cell") is None:
+                name = event.get("name", "?")
+                counters[name] = counters.get(name, 0) + int(
+                    event.get("value", 0))
+    wanted = [name for name in sorted(counters)
+              if name.startswith(("exec/", "store/"))]
+    if wanted:
+        print(f"counters over {runs} recorded runs:")
+        print(format_table(
+            ["counter", "total"],
+            [[name, counters[name]] for name in wanted]))
+    elif runs == 0:
+        print("no recorded telemetry (run a command with --telemetry "
+              "to record hit counters)")
+    return 0
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     store = resolve_store(args.cache_dir)
     if store is None:
@@ -478,14 +578,19 @@ def build_parser() -> argparse.ArgumentParser:
                "the columnar Stage-2 replay backend (default: best "
                "available), REPRO_STAGE2_BATCH=off disables shared-context "
                "batching, REPRO_STAGE3_VECTOR=off disables vectorized "
-               "timing.  --stage2-kernel overrides the first knob for "
-               "one invocation.",
+               "timing, REPRO_GRAPH=off disables the cost-aware "
+               "experiment-graph scheduler.  --stage2-kernel and --graph "
+               "override their knobs for one invocation.",
     )
     parser.add_argument(
         "--stage2-kernel", default=None,
         choices=["off", "numpy", "numba", "auto"], metavar="BACKEND",
         help="Stage-2 replay kernel backend (off|numpy|numba|auto); "
              "overrides REPRO_STAGE2_KERNEL for this invocation")
+    parser.add_argument(
+        "--graph", default=None, choices=["on", "off"],
+        help="cost-aware experiment-graph scheduler (default: on); "
+             "overrides REPRO_GRAPH for this invocation")
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="compare policies on benchmarks")
@@ -546,6 +651,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(perf)
     perf.set_defaults(func=cmd_perf)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk result/artifact cache")
+    cache.add_argument("action", choices=["stats", "gc", "clear"],
+                       help="stats: entry/byte totals, artifact kinds, and "
+                            "recorded hit counters; gc: LRU-evict to the "
+                            "given targets; clear: remove every blob")
+    cache.add_argument("--cache-dir", default="", metavar="DIR",
+                       help="cache to operate on (default: $REPRO_CACHE_DIR "
+                            "or .repro-cache)")
+    cache.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="gc target: keep at most N blobs")
+    cache.add_argument("--max-bytes", default=None, metavar="SIZE",
+                       help="gc target: keep at most SIZE bytes "
+                            "(suffixes K/M/G)")
+    cache.set_defaults(func=cmd_cache)
+
     resume = sub.add_parser(
         "resume", help="list or re-drive interrupted runs")
     resume.add_argument("run_id", nargs="?", default="",
@@ -605,6 +726,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.argv = list(argv) if argv is not None else list(sys.argv[1:])
     if getattr(args, "stage2_kernel", None):
         os.environ["REPRO_STAGE2_KERNEL"] = args.stage2_kernel
+    if getattr(args, "graph", None):
+        os.environ["REPRO_GRAPH"] = args.graph
     _ACTIVE_ENGINE = None
     try:
         return args.func(args)

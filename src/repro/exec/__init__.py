@@ -19,6 +19,7 @@ from repro.exec.faults import (
 from repro.exec.manifest import RunManifest, list_runs
 from repro.exec.progress import CellOutcome, ExecReport
 from repro.exec.runner import (
+    MaterializeCell,
     MixCell,
     ParallelRunner,
     SearchBatchCell,
@@ -45,6 +46,7 @@ __all__ = [
     "list_runs",
     "CellOutcome",
     "ExecReport",
+    "MaterializeCell",
     "MixCell",
     "ParallelRunner",
     "SearchBatchCell",

@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
+import time
 from array import array
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -109,6 +110,13 @@ def unpack_artifact(
 
 
 # -- keys ------------------------------------------------------------------
+
+
+def scope_payload(llc_bytes: int, accesses: int, seed: int) -> Dict[str, int]:
+    """Trace *generation scope*: the Stage-1 key fields shared by every
+    segment of one (suite, sizing) combination.  The runner and the
+    graph planner must hash identical scopes, so both build them here."""
+    return {"llc_bytes": llc_bytes, "accesses": accesses, "seed": seed}
 
 
 def trace_key(trace_payload: Dict[str, Any]) -> str:
@@ -248,14 +256,42 @@ def unpack_upper(blob: bytes) -> Optional[UpperLevelResult]:
 # -- the cache -------------------------------------------------------------
 
 
+def peek_kind(path) -> Optional[str]:
+    """Artifact kind of a blob file from its frame header, or ``None``.
+
+    Reads only the header + meta (never the payload), so inspecting a
+    large cache stays cheap.  Used by ``repro.cli cache stats``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            header = handle.read(8)
+            if header[:4] != MAGIC:
+                return None
+            meta_len = int.from_bytes(header[4:8], "little")
+            if meta_len > 1_000_000:
+                return None
+            meta = json.loads(handle.read(meta_len).decode("utf-8"))
+        kind = meta.get("artifact")
+        return kind if isinstance(kind, str) else None
+    except (OSError, ValueError, TypeError):
+        return None
+
+
 @dataclass
 class ArtifactStats:
-    """Hit/miss counters per artifact kind, over one cache lifetime."""
+    """Hit/miss counters per artifact kind, over one cache lifetime.
+
+    Also accumulates blob-read throughput samples (bytes and
+    microseconds spent in successful store reads) — the graph
+    scheduler's cost model learns the store's load speed from them.
+    """
 
     trace_hits: int = 0
     trace_misses: int = 0
     stage1_hits: int = 0
     stage1_misses: int = 0
+    read_bytes: int = 0
+    read_us: int = 0
 
     def counts(self) -> Dict[str, int]:
         return {
@@ -263,6 +299,8 @@ class ArtifactStats:
             "trace_misses": self.trace_misses,
             "stage1_hits": self.stage1_hits,
             "stage1_misses": self.stage1_misses,
+            "read_bytes": self.read_bytes,
+            "read_us": self.read_us,
         }
 
 
@@ -273,17 +311,34 @@ class ArtifactCache:
     count as misses; after a miss the caller computes the artifact and
     stores it back, so the cache is self-healing and the simulation
     result never depends on whether a lookup succeeded.
+
+    ``deny_loads`` is the graph scheduler's plan hook: keys in the set
+    are treated as misses without touching the store, forcing the
+    planned recompute when loading was judged slower.  Denied or not,
+    results are bit-identical — only the source of the bytes changes.
     """
 
     def __init__(self, store: ResultStore) -> None:
         self.store = store
         self.stats = ArtifactStats()
+        self.deny_loads: frozenset = frozenset()
+
+    def _read(self, key: str) -> Optional[bytes]:
+        """Plan-aware, throughput-timed store read."""
+        if key in self.deny_loads:
+            return None
+        start = time.perf_counter()
+        blob = self.store.get_bytes(key)
+        if blob is not None:
+            self.stats.read_bytes += len(blob)
+            self.stats.read_us += int((time.perf_counter() - start) * 1e6)
+        return blob
 
     # -- traces -----------------------------------------------------------
 
     def load_segments(self, trace_payload: Dict[str, Any]
                       ) -> Optional[List[Segment]]:
-        blob = self.store.get_bytes(trace_key(trace_payload))
+        blob = self._read(trace_key(trace_payload))
         segments = None if blob is None else unpack_segments(blob)
         if segments is None:
             self.stats.trace_misses += 1
@@ -301,7 +356,7 @@ class ArtifactCache:
                    hierarchy_payload: Dict[str, int],
                    prefetch: bool) -> Optional[UpperLevelResult]:
         key = stage1_key(scope, segment_name, hierarchy_payload, prefetch)
-        blob = self.store.get_bytes(key)
+        blob = self._read(key)
         upper = None if blob is None else unpack_upper(blob)
         if upper is None:
             self.stats.stage1_misses += 1

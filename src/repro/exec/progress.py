@@ -71,6 +71,19 @@ class ExecReport:
     timeouts: int = 0
     requeued: int = 0
     pool_rebuilds: int = 0
+    # Graph-scheduler accounting (zero when REPRO_GRAPH=off or no
+    # artifact store): ``graph_nodes`` artifact nodes planned,
+    # ``graph_loads``/``graph_computes`` the forward pass's decisions
+    # over the needed set, ``graph_shared`` nodes referenced by more
+    # than one cell, ``graph_denied`` materialized blobs the plan
+    # recomputes instead of loading, and ``graph_prelude`` the
+    # materialize tasks run ahead of the cell wave.
+    graph_nodes: int = 0
+    graph_loads: int = 0
+    graph_computes: int = 0
+    graph_shared: int = 0
+    graph_denied: int = 0
+    graph_prelude: int = 0
 
     @property
     def cells(self) -> int:
@@ -146,6 +159,16 @@ class ExecReport:
             )
         if self.batches:
             line += f"  batched={self.batched}/{self.batches} replays"
+        if self.graph_nodes:
+            line += (
+                f"  graph: {self.graph_nodes} nodes "
+                f"load={self.graph_loads} compute={self.graph_computes} "
+                f"shared={self.graph_shared}"
+            )
+            if self.graph_denied:
+                line += f" denied={self.graph_denied}"
+            if self.graph_prelude:
+                line += f" prelude={self.graph_prelude}"
         if (self.failed or self.retries or self.timeouts or self.requeued
                 or self.pool_rebuilds):
             line += (

@@ -62,7 +62,7 @@ from repro.exec.cachekey import (
     task_seed,
     timing_payload,
 )
-from repro.exec.artifacts import ArtifactCache
+from repro.exec.artifacts import ArtifactCache, scope_payload
 from repro.exec.faults import (
     CellExecutionError,
     CellFailure,
@@ -82,6 +82,7 @@ from repro.obs.events import (
     write_events,
 )
 from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
+from repro.graph import CostModel, graph_enabled, plan_cells
 from repro.policies import policy_factory
 from repro.search.evaluator import FeatureSetEvaluator
 from repro.sim.hierarchy import HierarchyConfig
@@ -300,13 +301,9 @@ def _suite_segments(suite: SuiteSpec,
     return segments
 
 
-def _scope_payload(llc_bytes: int, accesses: int, seed: int) -> Dict[str, int]:
-    """Stage-1 artifact scope: the trace *generation* parameters.
-
-    Benchmark identity lives in the segment name, so Stage-1 artifacts
-    are shared by every cell generated from the same sizing and seed.
-    """
-    return {"llc_bytes": llc_bytes, "accesses": accesses, "seed": seed}
+# Stage-1 artifact scope lives in repro.exec.artifacts so the graph
+# planner hashes identical scopes without importing this module.
+_scope_payload = scope_payload
 
 
 def _runner_key(kind: str, hierarchy: HierarchyConfig,
@@ -604,14 +601,82 @@ class SearchBatchCell:
         return [float(value) for value in payload]
 
 
-Cell = Union[SingleCell, MixCell, SearchCell, SearchBatchCell]
+@dataclass(frozen=True)
+class MaterializeCell:
+    """Prelude task: materialize shared trace/Stage-1 artifacts once.
+
+    The graph scheduler runs these *before* the cell wave so an
+    artifact node shared by K cells is computed exactly once and every
+    dependent cell loads it, instead of the first K workers racing to
+    recompute it.  Produces no cached result — its output is the
+    artifact-store side effect plus the measured (accesses, seconds)
+    compute samples the scheduler's cost model refines on.  Failures
+    are benign: the artifact cache self-heals, so dependent cells just
+    recompute what the prelude failed to materialize.
+    """
+
+    trace: TraceSpec
+    segment_names: Tuple[str, ...]
+    hierarchy: HierarchyConfig
+    prefetch: bool = True
+
+    kind: ClassVar[str] = "materialize"
+
+    def label(self) -> str:
+        return f"graph/{self.trace.benchmark}"
+
+    def key_payload(self) -> Dict[str, Any]:
+        """Identity payload (task seeding); never used as a store key."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "trace": self.trace.payload(),
+            "segments": list(self.segment_names),
+            "hierarchy": hierarchy_payload(self.hierarchy),
+            "prefetch": self.prefetch,
+        }
+
+    def run(self, artifacts: Optional[ArtifactCache] = None) -> Dict[str, Any]:
+        stats = artifacts.stats if artifacts is not None else None
+        misses_before = stats.trace_misses if stats is not None else 0
+        started = time.perf_counter()
+        segments = _segments(self.trace, artifacts)
+        trace_seconds = time.perf_counter() - started
+        computed_trace = (stats is not None
+                          and stats.trace_misses > misses_before)
+        runner = SingleThreadRunner(
+            self.hierarchy, prefetch=self.prefetch,
+            stage1_store=_stage1_store(artifacts, self.trace.llc_bytes,
+                                       self.trace.accesses, self.trace.seed,
+                                       self.hierarchy, self.prefetch),
+        )
+        wanted = set(self.segment_names)
+        computed = runner.prime_segments(
+            [segment for segment in segments if segment.name in wanted])
+        return {
+            "trace": ([sum(len(s.trace.pcs) for s in segments),
+                       trace_seconds] if computed_trace else None),
+            "stage1": [[accesses, seconds]
+                       for _, accesses, seconds in computed],
+        }
+
+    def encode(self, result: Dict[str, Any]) -> Dict[str, Any]:
+        return result
+
+    def decode(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return payload
+
+
+Cell = Union[SingleCell, MixCell, SearchCell, SearchBatchCell,
+             MaterializeCell]
 
 
 def _execute_cell(cell: Cell, key: str,
                   artifact_root: Optional[str] = None,
                   attempt: int = 1,
                   in_worker: bool = False,
-                  telemetry: bool = False
+                  telemetry: bool = False,
+                  deny_loads: frozenset = frozenset()
                   ) -> Tuple[Any, float, Dict[str, int],
                              Optional[Dict[str, Any]]]:
     """Run one cell with deterministic seeding.
@@ -638,6 +703,11 @@ def _execute_cell(cell: Cell, key: str,
     if plan is not None:
         plan.fire(key, attempt, in_worker=in_worker)
     artifacts = _artifact_cache(artifact_root)
+    if artifacts is not None:
+        # The graph plan's deny set rides along with every execution
+        # (serial and worker) and is re-set each time, so one shared
+        # per-process cache never leaks a previous batch's plan.
+        artifacts.deny_loads = deny_loads
     before = artifacts.stats.counts() if artifacts is not None else {}
     if telemetry:
         obs.enable()
@@ -745,6 +815,12 @@ class ParallelRunner:
             None if self.store is None or artifacts_off
             else str(self.store.root)
         )
+        # Graph-scheduler state for the batch currently driving:
+        # materialized keys the plan says to recompute rather than
+        # load, and the (cost model, store) pair to refine + persist
+        # once the batch's measured timings are in.
+        self._deny_loads: frozenset = frozenset()
+        self._cost_state: Optional[Tuple[CostModel, ResultStore]] = None
 
     @classmethod
     def from_options(cls, jobs: Optional[int] = None, cache_dir: str = "",
@@ -805,6 +881,8 @@ class ParallelRunner:
         artifact_counts: Dict[str, int] = {}
         stats = _DriveStats()
         plan = active_plan()
+        graph = self._schedule([(task.cell, task.key) for task in tasks],
+                               sink, artifact_counts, stats)
 
         def settle(task: _Task, result: Any, seconds: float,
                    delta: Dict[str, int],
@@ -833,7 +911,7 @@ class ParallelRunner:
             self._drive(tasks, stats, settle, fail)
         finally:
             self._finish_report(outcomes, started, label, artifact_counts,
-                                stats, planned=len(cells))
+                                stats, planned=len(cells), graph=graph)
         if self.verbose:
             print(self.last_report.table())
         return results
@@ -925,6 +1003,8 @@ class ParallelRunner:
         artifact_counts: Dict[str, int] = {}
         stats = _DriveStats()
         plan = active_plan()
+        graph = self._schedule([(cell, key) for _, key, cell in pending],
+                               sink, artifact_counts, stats)
         batches = 0
         batched = 0
 
@@ -977,7 +1057,7 @@ class ParallelRunner:
         finally:
             self._finish_report(outcomes, started, label, artifact_counts,
                                 stats, planned=len(cells),
-                                batches=batches, batched=batched)
+                                batches=batches, batched=batched, graph=graph)
         if self.verbose:
             print(self.last_report.table())
         return results
@@ -1011,6 +1091,12 @@ class ParallelRunner:
             "exec/timeouts": report.timeouts,
             "exec/requeued": report.requeued,
             "exec/pool-rebuilds": report.pool_rebuilds,
+            "exec/graph-nodes": report.graph_nodes,
+            "exec/graph-loads": report.graph_loads,
+            "exec/graph-computes": report.graph_computes,
+            "exec/graph-shared": report.graph_shared,
+            "exec/graph-denied": report.graph_denied,
+            "exec/graph-prelude": report.graph_prelude,
         }
 
     def _write_events(self,
@@ -1062,15 +1148,114 @@ class ParallelRunner:
         fresh = self._drain_parent_spans(ctx)
         if not fresh:
             return self.last_events_path
+        lines = [json.dumps(span_event(None, None, record.to_dict()),
+                            separators=(",", ":"))
+                 for record in fresh]
         try:
             with open(self.last_events_path, "a", encoding="utf-8") as handle:
-                for record in fresh:
-                    line = json.dumps(span_event(None, None, record.to_dict()),
-                                      separators=(",", ":"))
-                    handle.write(line + "\n")
+                handle.write("\n".join(lines) + "\n")
         except OSError:
             return None
         return self.last_events_path
+
+    # -- graph scheduling ----------------------------------------------------
+
+    def _schedule(self, items: Sequence[Tuple[Cell, str]],
+                  sink: List[Tuple[str, str, Optional[Dict[str, Any]]]],
+                  artifact_counts: Dict[str, int],
+                  stats: _DriveStats) -> Optional[Dict[str, int]]:
+        """Plan the artifact graph for this batch's misses.
+
+        Lowers the miss cells into one deduplicated
+        :class:`~repro.graph.ExperimentGraph`, runs the cost-model
+        forward/backward passes, installs the deny-load set, and
+        materializes shared compute nodes through a prelude wave.
+        Returns planned-action counters for the report, or ``None``
+        when scheduling is off (``REPRO_GRAPH=off``), there is nothing
+        to plan, or no artifact store is attached.  Planning failures
+        degrade to the unplanned path — the scheduler decides where
+        bytes come from, never whether a run completes.
+        """
+        self._deny_loads = frozenset()
+        self._cost_state = None
+        if not items or self.artifact_root is None or not graph_enabled():
+            return None
+        try:
+            pstore = ResultStore(self.artifact_root)
+            model = CostModel.load(pstore)
+            plan = plan_cells(items, pstore, model)
+        except Exception:
+            return None
+        self._deny_loads = plan.deny
+        self._cost_state = (model, pstore)
+        counts = dict(plan.counts)
+        counts["denied"] = len(plan.deny)
+        counts["prelude"] = len(plan.prelude)
+        if plan.prelude:
+            self._run_prelude(plan.prelude, model, sink, artifact_counts,
+                              stats)
+        return counts
+
+    def _run_prelude(self, groups, model: CostModel,
+                     sink: List[Tuple[str, str, Optional[Dict[str, Any]]]],
+                     artifact_counts: Dict[str, int],
+                     stats: _DriveStats) -> None:
+        """Materialize shared artifacts once, ahead of the cell wave.
+
+        Rides the same fault-tolerant drive as real cells (retries,
+        pool recovery, watchdog), but failures are non-fatal and kept
+        out of the batch's failure list: a prelude loss just means the
+        dependent cells recompute the artifact themselves.
+        """
+        cells = [MaterializeCell(trace=group.trace,
+                                 segment_names=group.segments,
+                                 hierarchy=group.hierarchy,
+                                 prefetch=group.prefetch)
+                 for group in groups]
+        tasks = [_Task(cell, stable_hash(cell.key_payload()), index)
+                 for index, cell in enumerate(cells)]
+        pstats = _DriveStats()
+
+        def settle(task: _Task, result: Any, seconds: float,
+                   delta: Dict[str, int],
+                   tele: Optional[Dict[str, Any]]) -> None:
+            _merge_counts(artifact_counts, delta)
+            if tele is not None:
+                sink.append((task.key, task.cell.label(), tele))
+            if isinstance(result, dict):
+                trace_sample = result.get("trace")
+                if trace_sample:
+                    model.observe_compute("trace", int(trace_sample[0]),
+                                          float(trace_sample[1]))
+                for accesses, secs in result.get("stage1", ()):
+                    model.observe_compute("stage1", int(accesses),
+                                          float(secs))
+
+        def fail(task: _Task, failure: CellFailure) -> None:
+            pass
+
+        try:
+            self._drive(tasks, pstats, settle, fail)
+        except CellExecutionError:
+            pass  # non-fatal by design; cells self-heal
+        stats.retries += pstats.retries
+        stats.timeouts += pstats.timeouts
+        stats.requeued += pstats.requeued
+        stats.rebuilds += pstats.rebuilds
+
+    def _finish_costs(self, artifact_counts: Dict[str, int]) -> None:
+        """Fold the batch's measured load throughput in and persist."""
+        state = self._cost_state
+        self._cost_state = None
+        self._deny_loads = frozenset()
+        if state is None:
+            return
+        model, pstore = state
+        read_bytes = artifact_counts.get("read_bytes", 0)
+        read_us = artifact_counts.get("read_us", 0)
+        if read_bytes and read_us:
+            model.observe_load(read_bytes, read_us / 1e6)
+        model.save(pstore)
 
     # -- shared fault-tolerant drive machinery ------------------------------
 
@@ -1127,7 +1312,10 @@ class ParallelRunner:
                        started: float, label: str,
                        artifact_counts: Dict[str, int], stats: _DriveStats,
                        planned: int, batches: int = 0,
-                       batched: int = 0) -> ExecReport:
+                       batched: int = 0,
+                       graph: Optional[Dict[str, int]] = None) -> ExecReport:
+        self._finish_costs(artifact_counts)
+        graph = graph or {}
         self.last_report = ExecReport(
             outcomes=tuple(outcome for outcome in outcomes
                            if outcome is not None),
@@ -1146,6 +1334,12 @@ class ParallelRunner:
             timeouts=stats.timeouts,
             requeued=stats.requeued,
             pool_rebuilds=stats.rebuilds,
+            graph_nodes=graph.get("nodes", 0),
+            graph_loads=graph.get("loads", 0),
+            graph_computes=graph.get("computes", 0),
+            graph_shared=graph.get("shared", 0),
+            graph_denied=graph.get("denied", 0),
+            graph_prelude=graph.get("prelude", 0),
         )
         return self.last_report
 
@@ -1171,7 +1365,7 @@ class ParallelRunner:
             try:
                 result, seconds, delta, tele = _execute_cell(
                     task.cell, task.key, self.artifact_root, task.attempt,
-                    False, obs.enabled())
+                    False, obs.enabled(), self._deny_loads)
             except KeyboardInterrupt:
                 queue.appendleft(task)
                 raise
@@ -1203,7 +1397,7 @@ class ParallelRunner:
                         future = pool.submit(
                             _execute_cell, task.cell, task.key,
                             self.artifact_root, task.attempt, True,
-                            obs.enabled())
+                            obs.enabled(), self._deny_loads)
                     except Exception:
                         queue.appendleft(task)
                         pool = self._recover_pool(pool, running, queue,

@@ -223,6 +223,18 @@ class ResultStore:
         """Atomically persist an opaque binary blob."""
         self._write(self._bin_path(key), data)
 
+    def stat_bytes(self, key: str) -> Optional[int]:
+        """Size of the binary blob for ``key`` without reading it.
+
+        The graph planner stats every candidate artifact this way —
+        materialization plus load-cost sizing at ``stat`` price, no
+        recency touch, no hit/miss accounting.
+        """
+        try:
+            return self._bin_path(key).stat().st_size
+        except OSError:
+            return None
+
     # -- shared write/evict machinery -------------------------------------
 
     def _write(self, path: Path, data: bytes) -> None:
@@ -260,7 +272,8 @@ class ResultStore:
         with self._exclusive():
             self._evict_locked()
 
-    def _evict_locked(self) -> None:
+    def _ranked_blobs(self) -> List[Path]:
+        """All blobs sorted least- to most-recently used."""
         blobs = self._blobs()
         order = self._recency()
 
@@ -273,16 +286,76 @@ class ResultStore:
                     mtime, path.name)
 
         blobs.sort(key=rank)
-        excess = max(0, len(blobs) - self.max_entries)
-        for path in blobs[:excess]:
+        return blobs
+
+    def _drop(self, victims: List[Path], survivors: List[Path]) -> int:
+        removed = 0
+        for path in victims:
             try:
                 path.unlink()
                 self.stats.evictions += 1
+                removed += 1
             except OSError:
                 pass
-        survivors = blobs[excess:]
         self._rewrite_index(survivors)
         self._count = len(survivors)
+        return removed
+
+    def _evict_locked(self) -> None:
+        blobs = self._ranked_blobs()
+        excess = max(0, len(blobs) - self.max_entries)
+        self._drop(blobs[:excess], blobs[excess:])
+
+    # -- inspection + maintenance (``repro.cli cache``) --------------------
+
+    def usage(self) -> Dict[str, int]:
+        """Entry/byte totals split by blob kind (results vs artifacts)."""
+        entries = results = artifacts = 0
+        total = result_bytes = artifact_bytes = 0
+        for path in self._blobs():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total += size
+            if path.suffix == ".json":
+                results += 1
+                result_bytes += size
+            else:
+                artifacts += 1
+                artifact_bytes += size
+        return {
+            "entries": entries,
+            "bytes": total,
+            "results": results,
+            "result_bytes": result_bytes,
+            "artifacts": artifacts,
+            "artifact_bytes": artifact_bytes,
+        }
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_bytes: Optional[int] = None) -> int:
+        """LRU-evict down to the given targets; returns blobs removed."""
+        if max_entries is None and max_bytes is None:
+            return 0
+        with self._exclusive():
+            blobs = self._ranked_blobs()
+            sizes = []
+            for path in blobs:
+                try:
+                    sizes.append(path.stat().st_size)
+                except OSError:
+                    sizes.append(0)
+            cut = 0
+            if max_entries is not None:
+                cut = max(cut, len(blobs) - max(0, max_entries))
+            if max_bytes is not None:
+                remaining = sum(sizes[cut:])
+                while cut < len(blobs) and remaining > max_bytes:
+                    remaining -= sizes[cut]
+                    cut += 1
+            return self._drop(blobs[:cut], blobs[cut:])
 
     def clear(self) -> int:
         """Remove every blob; returns the number removed."""

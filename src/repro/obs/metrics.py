@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 class Histogram:
@@ -115,6 +115,19 @@ class MetricsRegistry:
     def inc(self, name: str, value: int = 1) -> None:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + value
+
+    def inc_many(self, items: Sequence[Tuple[str, int]]) -> None:
+        """Fold a batch of ``(name, delta)`` pairs under one lock.
+
+        Flush sites that report a dozen aggregate counters per replay
+        (``flush_llc_metrics``) pay one acquisition per *flush* instead
+        of one per counter — the bulk of the enabled-path overhead the
+        perf harness's ``telemetry_enabled_overhead`` gate watches.
+        """
+        counters = self.counters
+        with self._lock:
+            for name, value in items:
+                counters[name] = counters.get(name, 0) + value
 
     def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
         """Get-or-create; the first registration's bounds win."""

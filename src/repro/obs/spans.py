@@ -70,8 +70,11 @@ class SpanCollector:
         return stack
 
     def add(self, record: SpanRecord) -> None:
-        with self._lock:
-            self.records.append(record)
+        # Lock-free on purpose: ``list.append`` is atomic under the
+        # GIL, and this runs on every span exit (the enabled hot
+        # path).  Readers still lock — they slice and swap cursors,
+        # which appends never invalidate.
+        self.records.append(record)
 
     def snapshot(self) -> List[SpanRecord]:
         with self._lock:

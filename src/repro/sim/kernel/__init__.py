@@ -31,8 +31,11 @@ from typing import List, Optional, Sequence
 
 try:  # numpy is an optional extra ([perf]); everything degrades.
     import numpy as _np
-except ImportError:  # pragma: no cover - exercised via fallback tests
+
+    _np_error = None
+except ImportError as _exc:  # pragma: no cover - exercised via fallback tests
     _np = None
+    _np_error = str(_exc)
 
 _DISABLED = ("off", "0", "false", "no", "none")
 _AUTO = ("on", "1", "true", "yes", "auto", "best")
@@ -55,6 +58,19 @@ def _numba_available() -> bool:
 def available_backends() -> dict:
     """Importability of each kernel backend (for perf reports)."""
     return {"numpy": _np is not None, "numba": _numba_available()}
+
+
+def backend_errors() -> dict:
+    """Why each unavailable backend failed to import (``None`` = fine).
+
+    Keeps :func:`available_backends` a plain name→bool map (callers
+    parametrize tests on it) while letting perf reports record the
+    diagnosis — distinguishing "numba not installed" from "numba's
+    llvmlite wheel broke" without rerunning imports by hand.
+    """
+    from repro.sim.kernel import numba_backend
+
+    return {"numpy": _np_error, "numba": numba_backend.import_error()}
 
 
 def stage2_kernel_backend() -> str:

@@ -51,21 +51,29 @@ _XOR_MASK = 255
 
 _numba_checked = False
 _numba_ok = False
+_numba_error: Optional[str] = None
 _compiled = None
 
 
 def available() -> bool:
     """True when numba imports; memoized, import deferred until asked."""
-    global _numba_checked, _numba_ok
+    global _numba_checked, _numba_ok, _numba_error
     if not _numba_checked:
         _numba_checked = True
         try:
             import numba  # noqa: F401
 
             _numba_ok = True
-        except ImportError:
+        except ImportError as exc:
             _numba_ok = False
+            _numba_error = str(exc)
     return _numba_ok
+
+
+def import_error() -> Optional[str]:
+    """Why numba is unavailable (``None`` when it imports fine)."""
+    available()
+    return _numba_error
 
 
 def _kernel_py(n, warmup, blocks, set_idxs, tags, samp_idxs, prefetch,

@@ -188,23 +188,27 @@ def flush_llc_metrics(stats: LLCStats, policy: ReplacementPolicy) -> None:
     The flush is observation-only — the pinned determinism hashes are
     identical with telemetry on or off.
     """
-    obs.inc("llc/replays")
-    obs.inc("llc/accesses", stats.accesses)
-    obs.inc("llc/hits", stats.hits)
-    obs.inc("llc/misses", stats.misses)
-    obs.inc("llc/fills", stats.misses - stats.bypasses)
-    obs.inc("llc/bypasses", stats.bypasses)
-    obs.inc("llc/evictions", stats.evictions)
-    obs.inc("llc/demand-misses", stats.demand_misses)
+    items = [
+        ("llc/replays", 1),
+        ("llc/accesses", stats.accesses),
+        ("llc/hits", stats.hits),
+        ("llc/misses", stats.misses),
+        ("llc/fills", stats.misses - stats.bypasses),
+        ("llc/bypasses", stats.bypasses),
+        ("llc/evictions", stats.evictions),
+        ("llc/demand-misses", stats.demand_misses),
+    ]
     sampler = getattr(policy, "sampler", None)
     if sampler is not None:
         live = getattr(sampler, "trainings_live", 0)
         dead = getattr(sampler, "trainings_dead", 0)
-        obs.inc("sampler/trainings-live", live)
-        obs.inc("sampler/trainings-dead", dead)
-        obs.inc("sampler/trainings", live + dead)
+        items += [("sampler/trainings-live", live),
+                  ("sampler/trainings-dead", dead),
+                  ("sampler/trainings", live + dead)]
     # MPPPB decision counters (cumulative per policy, i.e. including
     # warmup accesses — unlike the measured-window llc/* counters).
     if hasattr(policy, "promotions_suppressed"):
-        obs.inc("mpppb/bypass-decisions", getattr(policy, "bypasses", 0))
-        obs.inc("mpppb/promotions-suppressed", policy.promotions_suppressed)
+        items += [("mpppb/bypass-decisions", getattr(policy, "bypasses", 0)),
+                  ("mpppb/promotions-suppressed",
+                   policy.promotions_suppressed)]
+    obs.inc_many(items)

@@ -432,6 +432,17 @@ def get_benchmark(name: str) -> BenchmarkSpec:
         raise KeyError(f"unknown benchmark {name!r}; see benchmark_names()") from None
 
 
+def segment_names(name: str) -> List[str]:
+    """Qualified segment names (``bench.pN``) without building traces.
+
+    The graph planner enumerates a cell's Stage-1 artifact nodes from
+    these — the names are static registry data, so planning never pays
+    trace synthesis.  Must mirror the names ``build_segments`` gives
+    the materialized segments.
+    """
+    return [f"{name}.{seg.name}" for seg in get_benchmark(name).segments]
+
+
 def build_segments(
     name: str, llc_bytes: int, accesses: int, seed: int = 2017
 ) -> List[Segment]:
