@@ -91,6 +91,20 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
                              "<cache>/runs/<run-id>.events.jsonl "
                              "(also: REPRO_TELEMETRY=1); inspect with "
                              "'repro.cli stats'")
+    parser.add_argument("--backend", default=None,
+                        choices=("local", "fleet", "ssh"),
+                        help="execution backend: in-process pool "
+                             "('local', default), long-lived worker "
+                             "subprocesses ('fleet'), or remote workers "
+                             "over ssh ('ssh'); default: $REPRO_BACKEND")
+    parser.add_argument("--workers", default=None, metavar="SPEC",
+                        help="worker spec: a count for the fleet backend "
+                             "('4'), or 'host[:slots],...' for ssh "
+                             "(default: $REPRO_WORKERS or --jobs)")
+    parser.add_argument("--shared-store", default=None, metavar="DIR",
+                        help="shared read-through result-store tier "
+                             "(default: $REPRO_SHARED_STORE; 'off' "
+                             "disables)")
 
 
 #: Engine backing the currently dispatched command, so the top-level
@@ -113,6 +127,9 @@ def _engine(args: argparse.Namespace) -> ParallelRunner:
         retries=getattr(args, "retries", None),
         cell_timeout=getattr(args, "cell_timeout", None),
         command=getattr(args, "argv", None),
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+        shared_store=getattr(args, "shared_store", None) or "",
     )
     return _ACTIVE_ENGINE
 
@@ -524,6 +541,45 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _override_exec_args(command: List[str],
+                        args: argparse.Namespace) -> List[str]:
+    """Apply ``resume`` execution overrides to a recorded argv.
+
+    Any override given to ``resume`` (``--jobs`` / ``--backend`` /
+    ``--workers`` / ``--shared-store``) replaces the recorded flag,
+    whether the original used the space or ``=`` form.  Flags not
+    overridden pass through untouched.  Exec flags never enter the
+    run id (see :data:`repro.exec.manifest.EXEC_FLAGS`), so the
+    re-driven command reopens the same manifest.
+    """
+    overrides = {}
+    if args.jobs is not None:
+        overrides["--jobs"] = str(args.jobs)
+    if args.backend is not None:
+        overrides["--backend"] = args.backend
+    if args.workers is not None:
+        overrides["--workers"] = args.workers
+    if args.shared_store is not None:
+        overrides["--shared-store"] = args.shared_store
+    if not overrides:
+        return list(command)
+    rebuilt: List[str] = []
+    skip = False
+    for part in command:
+        if skip:
+            skip = False
+            continue
+        if part in overrides:
+            skip = True
+            continue
+        if any(part.startswith(f"{flag}=") for flag in overrides):
+            continue
+        rebuilt.append(part)
+    for flag, value in sorted(overrides.items()):
+        rebuilt.extend([flag, value])
+    return rebuilt
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     store = resolve_store(args.cache_dir)
     if store is None:
@@ -563,10 +619,11 @@ def cmd_resume(args: argparse.Namespace) -> int:
               f"library, not the CLI; re-run it from its caller",
               file=sys.stderr)
         return 2
+    command = _override_exec_args(list(manifest.command), args)
     print(f"resuming {manifest.run_id[:12]} ({manifest.progress()}): "
-          f"{' '.join(manifest.command)}")
+          f"{' '.join(command)}")
     # Completed cells are store hits, so only unfinished cells recompute.
-    return main(list(manifest.command))
+    return main(command)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -674,6 +731,15 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--cache-dir", default="", metavar="DIR",
                         help="result cache holding the run manifests "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    resume.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="override the recorded --jobs for this resume")
+    resume.add_argument("--backend", default=None,
+                        choices=("local", "fleet", "ssh"),
+                        help="override the recorded execution backend")
+    resume.add_argument("--workers", default=None, metavar="SPEC",
+                        help="override the recorded worker spec")
+    resume.add_argument("--shared-store", default=None, metavar="DIR",
+                        help="override the recorded shared store tier")
     resume.set_defaults(func=cmd_resume)
 
     stats = sub.add_parser(

@@ -10,10 +10,22 @@ from repro.exec.cachekey import (
     stable_hash,
     task_seed,
 )
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    BackendUnavailable,
+    ExecutionBackend,
+    Frame,
+    LocalPoolBackend,
+    SSHBackend,
+    WorkerFleetBackend,
+    parse_worker_spec,
+    resolve_backend_name,
+)
 from repro.exec.faults import (
     CellExecutionError,
     CellFailure,
     ConfigError,
+    RemoteCellError,
     parse_fault_spec,
 )
 from repro.exec.manifest import RunManifest, list_runs
@@ -31,16 +43,33 @@ from repro.exec.runner import (
     resolve_jobs,
     resolve_store,
 )
-from repro.exec.store import DEFAULT_CACHE_DIR, CacheStats, ResultStore
+from repro.exec.store import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultStore,
+    TieredResultStore,
+    make_store,
+    resolve_shared,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "canonical_json",
     "stable_hash",
     "task_seed",
+    "BACKEND_NAMES",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "Frame",
+    "LocalPoolBackend",
+    "SSHBackend",
+    "WorkerFleetBackend",
+    "parse_worker_spec",
+    "resolve_backend_name",
     "CellExecutionError",
     "CellFailure",
     "ConfigError",
+    "RemoteCellError",
     "parse_fault_spec",
     "RunManifest",
     "list_runs",
@@ -60,4 +89,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "ResultStore",
+    "TieredResultStore",
+    "make_store",
+    "resolve_shared",
 ]

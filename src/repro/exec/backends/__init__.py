@@ -1,0 +1,125 @@
+"""Pluggable execution backends for the distributed experiment mesh.
+
+Three transports behind one interface (see :mod:`.base`):
+
+* ``local`` — :class:`LocalPoolBackend`, today's process pool
+  (default, bit-identity reference);
+* ``fleet`` — :class:`WorkerFleetBackend`, N long-lived worker
+  subprocesses speaking the length-prefixed pickle framing protocol;
+* ``ssh`` — :class:`SSHBackend`, the same protocol tunneled over
+  ``ssh host python -m repro.exec.worker``.
+
+Selection: ``--backend`` / ``REPRO_BACKEND`` picks the transport;
+``--workers`` / ``REPRO_WORKERS`` sizes it (a slot count for fleet, a
+``host[:slots],...`` spec for ssh).  The local backend sizes from
+``--jobs`` as always.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.exec.backends.base import (
+    FRAME_ERROR,
+    FRAME_LOST,
+    FRAME_OK,
+    BackendUnavailable,
+    ExecutionBackend,
+    Frame,
+)
+from repro.exec.backends.fleet import (
+    WorkerFleetBackend,
+    knob_env,
+    worker_command,
+)
+from repro.exec.backends.local import LocalPoolBackend
+from repro.exec.backends.ssh import (
+    SSHBackend,
+    parse_worker_spec,
+    total_slots,
+)
+from repro.exec.faults import ConfigError
+
+BACKEND_NAMES = ("local", "fleet", "ssh")
+
+
+def resolve_backend_name(backend: Optional[str] = None) -> str:
+    """Effective backend name: explicit arg > ``REPRO_BACKEND`` > local."""
+    name = (backend or os.environ.get("REPRO_BACKEND") or "local")
+    name = name.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown execution backend {name!r} "
+            f"(expected one of {', '.join(BACKEND_NAMES)})")
+    return name
+
+
+def resolve_workers_spec(workers: Optional[str] = None) -> Optional[str]:
+    """Effective worker spec: explicit arg > ``REPRO_WORKERS`` > none."""
+    spec = workers if workers is not None else os.environ.get("REPRO_WORKERS")
+    if spec is None:
+        return None
+    spec = spec.strip()
+    return spec or None
+
+
+def resolve_slots(name: str, jobs: int,
+                  workers_spec: Optional[str]) -> int:
+    """Worker-slot count for a backend choice.
+
+    ``local`` sizes from ``jobs``.  ``fleet`` takes an integer worker
+    count (falling back to ``jobs``).  ``ssh`` requires a host spec and
+    sizes from the summed per-host slots.
+    """
+    if name == "local":
+        return jobs
+    if name == "fleet":
+        if workers_spec is None:
+            return jobs
+        try:
+            slots = int(workers_spec)
+        except ValueError:
+            raise ConfigError(
+                f"--workers: fleet backend expects an integer worker "
+                f"count, got {workers_spec!r}") from None
+        if slots < 1:
+            raise ConfigError("--workers: worker count must be >= 1")
+        return slots
+    if workers_spec is None:
+        raise ConfigError(
+            "--workers host[:slots],... is required for the ssh backend")
+    return total_slots(workers_spec)
+
+
+def create_backend(name: str, slots: int,
+                   workers_spec: Optional[str]) -> ExecutionBackend:
+    """Instantiate a started-but-not-running backend for ``slots``."""
+    if name == "local":
+        return LocalPoolBackend(slots)
+    if name == "fleet":
+        return WorkerFleetBackend([worker_command()] * slots)
+    return SSHBackend(parse_worker_spec(workers_spec or ""))
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendUnavailable",
+    "ConfigError",
+    "ExecutionBackend",
+    "FRAME_ERROR",
+    "FRAME_LOST",
+    "FRAME_OK",
+    "Frame",
+    "LocalPoolBackend",
+    "SSHBackend",
+    "WorkerFleetBackend",
+    "create_backend",
+    "knob_env",
+    "parse_worker_spec",
+    "resolve_backend_name",
+    "resolve_slots",
+    "resolve_workers_spec",
+    "total_slots",
+    "worker_command",
+]

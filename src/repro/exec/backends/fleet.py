@@ -1,0 +1,278 @@
+"""``WorkerFleetBackend``: N long-lived worker subprocesses speaking
+the length-prefixed pickle framing protocol over stdin/stdout pipes.
+
+This is the transport-agnostic core of the distributed mesh: the
+backend only needs an argv per slot that starts
+``python -m repro.exec.worker`` *somewhere* — a local subprocess here,
+an ``ssh host ...`` tunnel in :mod:`repro.exec.backends.ssh`.  One
+daemon reader thread per worker pumps inbound frames into a shared
+queue; the drive loop's ``poll`` drains it.  A worker whose stream
+ends (crash, kill, dropped connection, corrupt frame) surfaces as a
+``lost`` frame for whatever task it was running, and the runner's
+requeue + rebuild machinery — the same path that handles
+``BrokenProcessPool`` — guarantees the cell still runs exactly once
+per key.
+
+Environment/knob propagation: after the ``hello`` handshake each
+worker receives one ``config`` frame carrying a snapshot of the
+parent's ``REPRO_*`` environment, so fault-injection specs, kernel
+backends, scale knobs, and the shared-store tier behave identically on
+every host.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.backends.base import (
+    FRAME_ERROR,
+    FRAME_LOST,
+    FRAME_OK,
+    BackendUnavailable,
+    ExecutionBackend,
+    Frame,
+)
+from repro.exec.faults import RemoteCellError
+from repro.exec.protocol import FrameError, read_frame, write_frame
+
+#: How long ``close`` waits for a worker to exit after stdin EOF
+#: before escalating to terminate/kill.
+_CLOSE_GRACE_S = 2.0
+
+
+def worker_command() -> List[str]:
+    """Argv that starts one local worker (monkeypatchable in tests)."""
+    return [sys.executable, "-m", "repro.exec.worker"]
+
+
+def knob_env() -> Dict[str, str]:
+    """Snapshot of the ``REPRO_*`` knobs to propagate to workers."""
+    return {name: value for name, value in os.environ.items()
+            if name.startswith("REPRO_")}
+
+
+@dataclass
+class _Worker:
+    """One slot: a subprocess plus its in-flight bookkeeping."""
+
+    proc: subprocess.Popen
+    index: int
+    task_id: Optional[int] = None
+    alive: bool = True
+    ready: bool = False
+    thread: Optional[threading.Thread] = field(default=None, repr=False)
+
+
+class WorkerFleetBackend(ExecutionBackend):
+    """Worker slots backed by long-lived framing-protocol subprocesses."""
+
+    name = "fleet"
+
+    def __init__(self, commands: Sequence[Sequence[str]],
+                 env: Optional[Dict[str, str]] = None) -> None:
+        if not commands:
+            raise BackendUnavailable("worker fleet needs at least one slot")
+        self._commands = [list(command) for command in commands]
+        self._env = dict(env) if env is not None else knob_env()
+        self.workers = len(self._commands)
+        self._fleet: List[_Worker] = []
+        self._events: "queue.Queue[tuple]" = queue.Queue()
+        self._discarded: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._fleet:
+            return
+        for index, command in enumerate(self._commands):
+            worker = self._spawn(index, command)
+            if worker is None:
+                self.close()
+                raise BackendUnavailable(
+                    f"worker slot {index} failed to start: "
+                    f"{' '.join(command)}")
+            self._fleet.append(worker)
+
+    def _spawn(self, index: int, command: Sequence[str]
+               ) -> Optional[_Worker]:
+        try:
+            proc = subprocess.Popen(list(command), stdin=subprocess.PIPE,
+                                    stdout=subprocess.PIPE)
+        except OSError:
+            return None
+        worker = _Worker(proc=proc, index=index)
+        worker.thread = threading.Thread(
+            target=self._pump, args=(worker,), daemon=True,
+            name=f"repro-fleet-{index}")
+        worker.thread.start()
+        try:
+            write_frame(proc.stdin, {"op": "config", "env": self._env})
+        except Exception:
+            self._shutdown_worker(worker)
+            return None
+        return worker
+
+    def _pump(self, worker: _Worker) -> None:
+        """Reader thread: inbound frames -> the shared event queue."""
+        stream = worker.proc.stdout
+        while True:
+            try:
+                message = read_frame(stream)
+            except (FrameError, OSError, ValueError):
+                # Truncated/corrupt stream or closed pipe: the worker
+                # is gone for our purposes.
+                message = None
+            self._events.put((worker, message))
+            if message is None:
+                return
+
+    # -- work --------------------------------------------------------------
+
+    def submit(self, task_id: int, request: Any) -> None:
+        worker = self._idle_worker()
+        if worker is None:
+            raise BackendUnavailable("no live idle worker slot")
+        frame = {"op": "run", "id": task_id,
+                 "task": pickle.dumps(request,
+                                      protocol=pickle.HIGHEST_PROTOCOL)}
+        try:
+            write_frame(worker.proc.stdin, frame)
+        except Exception as exc:
+            worker.alive = False
+            raise BackendUnavailable(
+                f"worker slot {worker.index} rejected work: {exc}")
+        worker.task_id = task_id
+
+    def _idle_worker(self) -> Optional[_Worker]:
+        for worker in self._fleet:
+            if worker.alive and worker.task_id is None:
+                return worker
+        return None
+
+    def poll(self, timeout: Optional[float]) -> List[Frame]:
+        frames: List[Frame] = []
+        block = any(worker.task_id is not None for worker in self._fleet
+                    if worker.alive) or timeout is not None
+        try:
+            event = self._events.get(timeout=timeout) if block \
+                else self._events.get_nowait()
+        except queue.Empty:
+            return frames
+        while True:
+            frame = self._handle_event(*event)
+            if frame is not None:
+                frames.append(frame)
+            try:
+                event = self._events.get_nowait()
+            except queue.Empty:
+                return frames
+
+    def _handle_event(self, worker: _Worker, message: Any
+                      ) -> Optional[Frame]:
+        if message is None:
+            # Stream ended: worker death.  Whatever it was running is
+            # lost; an idle worker's death just shrinks capacity until
+            # the next rebuild.
+            worker.alive = False
+            task_id, worker.task_id = worker.task_id, None
+            if task_id is None or task_id in self._discarded:
+                self._discarded.discard(task_id)
+                return None
+            return Frame(task_id, FRAME_LOST,
+                         f"worker slot {worker.index} died mid-cell")
+        op = message.get("op") if isinstance(message, dict) else None
+        if op == "hello":
+            worker.ready = True
+            return None
+        if op not in ("result", "error"):
+            return None
+        task_id = message.get("id")
+        if task_id is None:
+            task_id = worker.task_id
+        if worker.task_id == task_id:
+            worker.task_id = None
+        if task_id is None or task_id in self._discarded:
+            self._discarded.discard(task_id)
+            return None
+        if op == "result":
+            return Frame(task_id, FRAME_OK, message.get("payload"))
+        exc = RemoteCellError(
+            exc_type=str(message.get("exc_type", "RuntimeError")),
+            message=str(message.get("message", "")),
+            remote_traceback=str(message.get("traceback", "")))
+        return Frame(task_id, FRAME_ERROR, exc)
+
+    def in_flight(self) -> List[int]:
+        return [worker.task_id for worker in self._fleet
+                if worker.task_id is not None
+                and worker.task_id not in self._discarded]
+
+    def discard(self, task_id: int) -> None:
+        # The worker under a discarded (timed-out) task keeps crunching
+        # until the next rebuild reclaims the slot; until then any late
+        # completion for the task is filtered out here.
+        self._discarded.add(task_id)
+        for worker in self._fleet:
+            if worker.task_id == task_id:
+                worker.task_id = None
+                worker.alive = False  # slot unusable until rebuild
+                return
+
+    def rebuild(self) -> List[int]:
+        dropped = self.in_flight()
+        self.close()
+        self._discarded.clear()
+        self.start()
+        return dropped
+
+    def close(self) -> None:
+        fleet, self._fleet = self._fleet, []
+        for worker in fleet:
+            self._shutdown_worker(worker)
+        # Drop queued events from the old generation of workers so a
+        # post-rebuild poll cannot see stale frames.
+        while True:
+            try:
+                self._events.get_nowait()
+            except queue.Empty:
+                break
+
+    @staticmethod
+    def _shutdown_worker(worker: _Worker) -> None:
+        proc = worker.proc
+        # An idle healthy worker exits cleanly on stdin EOF; a busy or
+        # broken one (hung cell, dead pipe) gets terminated outright —
+        # waiting politely on a straggler is exactly what the watchdog
+        # rebuild exists to avoid.
+        graceful = worker.alive and worker.task_id is None
+        worker.alive = False
+        try:
+            if proc.stdin is not None:
+                proc.stdin.close()  # EOF => clean worker exit
+        except Exception:
+            pass
+        if not graceful:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            proc.wait(timeout=_CLOSE_GRACE_S)
+        except Exception:
+            try:
+                proc.kill()
+                proc.wait(timeout=_CLOSE_GRACE_S)
+            except Exception:
+                pass
+        try:
+            if proc.stdout is not None:
+                proc.stdout.close()
+        except Exception:
+            pass

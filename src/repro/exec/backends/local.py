@@ -1,0 +1,113 @@
+"""``LocalPoolBackend``: today's ``ProcessPoolExecutor``, behind the
+:class:`~repro.exec.backends.base.ExecutionBackend` interface.
+
+This is the default backend and the bit-identity reference: it submits
+the same :func:`~repro.exec.runner._execute_cell` call the pre-backend
+drive loop made, through the same executor, so refactoring the runner
+onto the interface changes nothing observable.  ``BrokenProcessPool``
+surfaces as ``lost`` frames; the runner's requeue + rebuild machinery
+handles them exactly as before.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional
+
+from repro.exec.backends.base import (
+    FRAME_ERROR,
+    FRAME_LOST,
+    FRAME_OK,
+    BackendUnavailable,
+    ExecutionBackend,
+    Frame,
+)
+
+
+def _execute_request(request: Dict[str, Any]) -> Any:
+    """Pool-worker entry point: decode one request dict and run it."""
+    from repro.exec.worker import execute_request
+
+    return execute_request(request)
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Worker slots backed by a local :class:`ProcessPoolExecutor`."""
+
+    name = "local"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[Future, int] = {}
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def submit(self, task_id: int, request: Any) -> None:
+        if self._pool is None:
+            raise BackendUnavailable("local pool is not running")
+        try:
+            future = self._pool.submit(_execute_request, request)
+        except Exception as exc:
+            raise BackendUnavailable(f"local pool rejected work: {exc}")
+        self._futures[future] = task_id
+
+    def poll(self, timeout: Optional[float]) -> List[Frame]:
+        if not self._futures:
+            return []
+        done, _ = wait(set(self._futures), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        frames: List[Frame] = []
+        for future in done:
+            task_id = self._futures.pop(future)
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                frames.append(Frame(task_id, FRAME_LOST,
+                                    "process pool broke under this cell"))
+            except Exception as exc:
+                frames.append(Frame(task_id, FRAME_ERROR, exc))
+            else:
+                frames.append(Frame(task_id, FRAME_OK, payload))
+        return frames
+
+    def in_flight(self) -> List[int]:
+        return list(self._futures.values())
+
+    def discard(self, task_id: int) -> None:
+        for future, tid in list(self._futures.items()):
+            if tid == task_id:
+                future.cancel()
+                del self._futures[future]
+                return
+
+    def rebuild(self) -> List[int]:
+        dropped = list(self._futures.values())
+        self._futures.clear()
+        self._teardown()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return dropped
+
+    def close(self) -> None:
+        self._futures.clear()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # Workers may be dead or hung; terminate before shutdown so a
+        # straggler cannot wedge the parent.
+        processes = dict(getattr(pool, "_processes", None) or {})
+        for process in processes.values():
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass

@@ -1,0 +1,84 @@
+"""``SSHBackend``: the fleet framing protocol tunneled over ``ssh``.
+
+Each slot is one ``ssh host python -m repro.exec.worker`` subprocess;
+stdin/stdout of the ssh client *are* the frame stream, so everything
+in :class:`~repro.exec.backends.fleet.WorkerFleetBackend` — pumps,
+worker-loss frames, config-frame knob propagation, rebuilds — works
+unchanged.  The only new machinery is the host spec:
+
+    --workers "hostA:4,hostB:2,hostC"
+
+gives hostA four slots, hostB two, hostC one.  Knobs:
+
+* ``REPRO_REMOTE_PYTHON`` — interpreter to run on the remote side
+  (default ``python3``); the repo must be importable there (installed,
+  or exported via a remote ``PYTHONPATH``).
+* ``REPRO_SSH_COMMAND`` — the ssh client argv prefix (default
+  ``ssh -o BatchMode=yes``); tests substitute a local command here to
+  exercise the tunnel without an sshd.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.backends.fleet import WorkerFleetBackend
+from repro.exec.faults import ConfigError
+
+DEFAULT_REMOTE_PYTHON = "python3"
+DEFAULT_SSH_COMMAND = ("ssh", "-o", "BatchMode=yes")
+
+
+def parse_worker_spec(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``host[:slots],...`` into ``[(host, slots), ...]``."""
+    hosts: List[Tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, slots_text = part.rpartition(":")
+        if not sep:
+            host, slots_text = part, "1"
+        try:
+            slots = int(slots_text)
+        except ValueError:
+            raise ConfigError(
+                f"--workers: bad slot count {slots_text!r} in {part!r} "
+                f"(expected host or host:slots)") from None
+        if not host or slots < 1:
+            raise ConfigError(
+                f"--workers: bad worker spec {part!r} "
+                f"(expected host or host:slots with slots >= 1)")
+        hosts.append((host, slots))
+    if not hosts:
+        raise ConfigError("--workers: empty worker spec")
+    return hosts
+
+
+def total_slots(spec: str) -> int:
+    return sum(slots for _, slots in parse_worker_spec(spec))
+
+
+class SSHBackend(WorkerFleetBackend):
+    """Fleet slots launched on remote hosts through an ssh tunnel."""
+
+    name = "ssh"
+
+    def __init__(self, hosts: Sequence[Tuple[str, int]],
+                 env: Optional[Dict[str, str]] = None,
+                 python: Optional[str] = None,
+                 ssh_command: Optional[Sequence[str]] = None) -> None:
+        python = python or os.environ.get(
+            "REPRO_REMOTE_PYTHON") or DEFAULT_REMOTE_PYTHON
+        if ssh_command is None:
+            override = os.environ.get("REPRO_SSH_COMMAND")
+            ssh_command = (shlex.split(override) if override
+                           else list(DEFAULT_SSH_COMMAND))
+        commands = []
+        for host, slots in hosts:
+            command = list(ssh_command) + [host, python,
+                                           "-m", "repro.exec.worker"]
+            commands.extend([command] * slots)
+        super().__init__(commands, env=env)

@@ -86,6 +86,26 @@ class InjectedFault(RuntimeError):
     """Exception raised by ``raise`` (and in-process ``crash``) faults."""
 
 
+class RemoteCellError(RuntimeError):
+    """A cell raised on the far side of a process/host boundary.
+
+    Fleet and SSH workers cannot ship exception *objects* back (the
+    type may not unpickle, and a hostile/corrupt stream must never
+    drive arbitrary unpickling on the parent), so they ship structured
+    fields instead.  This wrapper carries them; :func:`make_failure`
+    unwraps it so the recorded :class:`CellFailure` names the original
+    remote exception type — a run's failure records read the same
+    whether the cell died in-process, in a pool worker, or on another
+    host.
+    """
+
+    def __init__(self, exc_type: str, message: str,
+                 remote_traceback: str = "") -> None:
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        super().__init__(message)
+
+
 class CellExecutionError(RuntimeError):
     """A cell failed terminally (retries exhausted, not recoverable).
 
@@ -128,8 +148,16 @@ def make_failure(label: str, key: str, exc: BaseException, kind: str,
 
     Exceptions re-raised from worker processes chain the remote
     traceback via ``__cause__``; ``format_exception`` renders the full
-    chain, so the worker-side frames survive into the record.
+    chain, so the worker-side frames survive into the record.  A
+    :class:`RemoteCellError` from a fleet/SSH worker is unwrapped to
+    its carried remote type and traceback, so failure records are
+    backend-independent.
     """
+    if isinstance(exc, RemoteCellError):
+        return CellFailure(label=label, key=key, kind=kind,
+                           exc_type=exc.exc_type, message=str(exc),
+                           traceback=exc.remote_traceback,
+                           attempts=attempts, seconds=seconds)
     tb = "".join(traceback.format_exception(type(exc), exc,
                                             exc.__traceback__))
     return CellFailure(label=label, key=key, kind=kind,

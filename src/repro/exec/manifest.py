@@ -42,6 +42,29 @@ MANIFEST_DIR = "runs"
 #: Bump when the manifest JSON layout changes; old files are ignored.
 MANIFEST_SCHEMA = 1
 
+#: CLI flags that change *how* a run executes, never *what* it runs.
+#: They are stripped from the command before hashing the run id, so
+#: resuming with different execution settings (``resume --jobs 8
+#: --backend fleet``) reopens the same manifest and completion log.
+EXEC_FLAGS = ("--jobs", "--backend", "--workers", "--shared-store")
+
+
+def strip_exec_flags(command: Sequence[str]) -> List[str]:
+    """Drop execution-only flags (space and ``=`` forms) from an argv."""
+    stripped: List[str] = []
+    skip = False
+    for part in command:
+        if skip:
+            skip = False
+            continue
+        if part in EXEC_FLAGS:
+            skip = True
+            continue
+        if any(part.startswith(f"{flag}=") for flag in EXEC_FLAGS):
+            continue
+        stripped.append(part)
+    return stripped
+
 
 @dataclass
 class RunManifest:
@@ -53,6 +76,10 @@ class RunManifest:
     command: List[str]                  # CLI argv; [] for library runs
     cells: Dict[str, Dict[str, str]]    # key -> {"label", "kind"}
     statuses: Dict[str, str] = field(default_factory=dict)
+    # Execution settings of the most recent invocation (backend name,
+    # worker spec, job count) — informational, never part of the run
+    # id, so a resume with different settings updates it in place.
+    exec_info: Dict[str, str] = field(default_factory=dict)
 
     @property
     def path(self) -> Path:
@@ -71,18 +98,24 @@ class RunManifest:
 
     @classmethod
     def create(cls, store_root, label: str, command: Sequence[str],
-               cells: Sequence[Tuple[str, str, str]]) -> "RunManifest":
+               cells: Sequence[Tuple[str, str, str]],
+               exec_info: Optional[Dict[str, str]] = None) -> "RunManifest":
         """Open (creating if needed) the manifest for this cell set.
 
         ``cells`` is a sequence of ``(key, label, kind)`` records.  An
         existing manifest for the same run id is reused, so resumed
-        runs continue the original completion log.
+        runs continue the original completion log.  Execution-only
+        flags are stripped from the command before hashing, so a
+        resume with overridden ``--jobs``/``--backend``/``--workers``
+        reopens the same run; the manifest file is rewritten when the
+        recorded execution settings change (the ``.done`` log is
+        untouched).
         """
         keys = sorted(key for key, _, _ in cells)
         run_id = stable_hash({
             "manifest": MANIFEST_SCHEMA,
             "label": label,
-            "command": list(command),
+            "command": strip_exec_flags(command),
             "keys": keys,
         })
         root = Path(store_root) / MANIFEST_DIR
@@ -90,16 +123,19 @@ class RunManifest:
             root=root, run_id=run_id, label=label, command=list(command),
             cells={key: {"label": cell_label, "kind": kind}
                    for key, cell_label, kind in cells},
+            exec_info=dict(exec_info or {}),
         )
         try:
             root.mkdir(parents=True, exist_ok=True)
-            if not manifest.path.exists():
+            existing = _read_manifest(manifest.path)
+            if existing is None or existing.exec_info != manifest.exec_info:
                 payload = {
                     "schema": MANIFEST_SCHEMA,
                     "run_id": run_id,
                     "label": label,
                     "command": manifest.command,
                     "cells": manifest.cells,
+                    "exec": manifest.exec_info,
                 }
                 fd, tmp = tempfile.mkstemp(dir=str(root), suffix=".tmp")
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -178,6 +214,9 @@ def _read_manifest(path: Path) -> Optional[RunManifest]:
             cells={str(key): {"label": str(meta.get("label", "")),
                               "kind": str(meta.get("kind", ""))}
                    for key, meta in payload["cells"].items()},
+            exec_info={str(name): str(value)
+                       for name, value in dict(
+                           payload.get("exec") or {}).items()},
         )
     except (KeyError, TypeError, AttributeError):
         return None

@@ -84,6 +84,14 @@ class ExecReport:
     graph_shared: int = 0
     graph_denied: int = 0
     graph_prelude: int = 0
+    # Distributed-mesh accounting: which execution backend drove the
+    # batch, and shared-tier store traffic (read-through hits served
+    # by the shared directory — result lookups in the parent plus
+    # artifact reads inside workers — and write-backs pushed up to
+    # it).  Zero/"local" for plain single-host runs.
+    backend: str = "local"
+    store_shared_hits: int = 0
+    store_shared_fills: int = 0
 
     @property
     def cells(self) -> int:
@@ -150,6 +158,11 @@ class ExecReport:
             f"wall={self.wall_seconds:.2f}s  work={self.cell_seconds:.2f}s  "
             f"util={self.utilization:.0%}"
         )
+        if self.backend != "local":
+            line += f"  backend={self.backend}"
+        if self.store_shared_hits or self.store_shared_fills:
+            line += (f"  shared: hits={self.store_shared_hits} "
+                     f"fills={self.store_shared_fills}")
         if self.artifact_lookups:
             line += (
                 f"  artifacts: trace {self.trace_hits}/"

@@ -32,10 +32,9 @@ from __future__ import annotations
 import json
 import os
 import random
+import sys
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -63,6 +62,16 @@ from repro.exec.cachekey import (
     timing_payload,
 )
 from repro.exec.artifacts import ArtifactCache, scope_payload
+from repro.exec.backends import (
+    FRAME_LOST,
+    FRAME_OK,
+    BackendUnavailable,
+    ExecutionBackend,
+    create_backend,
+    resolve_backend_name,
+    resolve_slots,
+    resolve_workers_spec,
+)
 from repro.exec.faults import (
     CellExecutionError,
     CellFailure,
@@ -81,7 +90,13 @@ from repro.obs.events import (
     span_event,
     write_events,
 )
-from repro.exec.store import DEFAULT_CACHE_DIR, DISABLED_SENTINELS, ResultStore
+from repro.exec.store import (
+    DEFAULT_CACHE_DIR,
+    DISABLED_SENTINELS,
+    ResultStore,
+    make_store,
+    resolve_shared,
+)
 from repro.graph import CostModel, graph_enabled, plan_cells
 from repro.policies import policy_factory
 from repro.search.evaluator import FeatureSetEvaluator
@@ -254,23 +269,29 @@ class SuiteSpec:
 
 _SEGMENTS: Dict[TraceSpec, List[Segment]] = {}
 _RUNNERS: Dict[str, Any] = {}
-_ARTIFACTS: Dict[str, ArtifactCache] = {}
+_ARTIFACTS: Dict[Tuple[str, Optional[str]], ArtifactCache] = {}
 
 
-def _artifact_cache(root: Optional[str]) -> Optional[ArtifactCache]:
+def _artifact_cache(root: Optional[str],
+                    shared: Optional[str] = None
+                    ) -> Optional[ArtifactCache]:
     """Per-process artifact cache over the store at ``root``.
 
-    Workers receive only the root path (cheap to pickle) and build the
-    cache lazily, so every process in a pool shares the same on-disk
-    trace/Stage-1 artifacts instead of recomputing them per worker —
-    the cross-worker duplication the in-memory memos cannot fix.
+    Workers receive only the root path(s) (cheap to pickle) and build
+    the cache lazily, so every process in a pool shares the same
+    on-disk trace/Stage-1 artifacts instead of recomputing them per
+    worker — the cross-worker duplication the in-memory memos cannot
+    fix.  With a ``shared`` tier root the cache reads through local
+    disk into the shared store, so an artifact computed by any worker
+    on any host serves every other worker.
     """
     if not root:
         return None
-    cache = _ARTIFACTS.get(root)
+    memo_key = (root, shared or None)
+    cache = _ARTIFACTS.get(memo_key)
     if cache is None:
-        cache = ArtifactCache(ResultStore(root))
-        _ARTIFACTS[root] = cache
+        cache = ArtifactCache(make_store(root, shared))
+        _ARTIFACTS[memo_key] = cache
     return cache
 
 
@@ -676,7 +697,8 @@ def _execute_cell(cell: Cell, key: str,
                   attempt: int = 1,
                   in_worker: bool = False,
                   telemetry: bool = False,
-                  deny_loads: frozenset = frozenset()
+                  deny_loads: frozenset = frozenset(),
+                  shared_root: Optional[str] = None
                   ) -> Tuple[Any, float, Dict[str, int],
                              Optional[Dict[str, Any]]]:
     """Run one cell with deterministic seeding.
@@ -702,7 +724,7 @@ def _execute_cell(cell: Cell, key: str,
     plan = active_plan()
     if plan is not None:
         plan.fire(key, attempt, in_worker=in_worker)
-    artifacts = _artifact_cache(artifact_root)
+    artifacts = _artifact_cache(artifact_root, shared_root)
     if artifacts is not None:
         # The graph plan's deny set rides along with every execution
         # (serial and worker) and is re-set each time, so one shared
@@ -787,11 +809,38 @@ class ParallelRunner:
                  on_error: Optional[str] = None,
                  retries: Optional[int] = None,
                  cell_timeout: Optional[float] = None,
-                 command: Optional[Sequence[str]] = None) -> None:
+                 command: Optional[Sequence[str]] = None,
+                 backend: Optional[str] = None,
+                 workers: Optional[str] = None,
+                 shared_store: str = "") -> None:
         self.jobs = resolve_jobs(jobs)
+        # Execution backend: which transport runs cache misses.  Fleet
+        # and ssh backends size from --workers / REPRO_WORKERS; their
+        # slot count becomes the effective job count so the submission
+        # window and report utilization reflect real parallelism.
+        self.backend_name = resolve_backend_name(backend)
+        self.workers_spec = resolve_workers_spec(workers)
+        self.jobs = resolve_slots(self.backend_name, self.jobs,
+                                  self.workers_spec)
         self.store: Optional[ResultStore] = (
             default_store() if store is _AUTO_STORE else store
         )
+        # Shared store tier (--shared-store / REPRO_SHARED_STORE):
+        # results and artifacts read through local disk into a shared
+        # directory every worker/host can reach, and write back to
+        # both.  Off by default; never wraps a caller-supplied custom
+        # store object that lacks a filesystem root.
+        shared_root = resolve_shared(shared_store)
+        if (shared_root is not None and self.store is not None
+                and getattr(self.store, "root", None) is not None
+                and getattr(self.store, "shared", None) is None):
+            self.store = make_store(str(self.store.root), shared_root)
+        # Derive the shared root from the store itself, so a caller
+        # passing an already-tiered store gets workers that read
+        # through the same shared tier.
+        shared_tier = getattr(self.store, "shared", None)
+        self.shared_root: Optional[str] = (
+            str(shared_tier.root) if shared_tier is not None else None)
         self.verbose = _verbose_default() if verbose is None else verbose
         self.on_error = resolve_on_error(on_error)
         self.retries = resolve_retries(retries)
@@ -827,17 +876,22 @@ class ParallelRunner:
                      on_error: Optional[str] = None,
                      retries: Optional[int] = None,
                      cell_timeout: Optional[float] = None,
-                     command: Optional[Sequence[str]] = None
-                     ) -> "ParallelRunner":
+                     command: Optional[Sequence[str]] = None,
+                     backend: Optional[str] = None,
+                     workers: Optional[str] = None,
+                     shared_store: str = "") -> "ParallelRunner":
         """Build from CLI-style options (``--jobs`` / ``--cache-dir`` /
-        ``--on-error`` / ``--retries`` / ``--cell-timeout``).
+        ``--on-error`` / ``--retries`` / ``--cell-timeout`` /
+        ``--backend`` / ``--workers`` / ``--shared-store``).
 
         An empty ``cache_dir`` defers to ``REPRO_CACHE_DIR``; the
         sentinel values ``off`` / ``none`` / ``0`` disable caching.
         """
         return cls(jobs=jobs, store=resolve_store(cache_dir),
                    on_error=on_error, retries=retries,
-                   cell_timeout=cell_timeout, command=command)
+                   cell_timeout=cell_timeout, command=command,
+                   backend=backend, workers=workers,
+                   shared_store=shared_store)
 
     def run(self, cells: Sequence[Cell], label: str = "") -> List[Any]:
         """Resolve every cell (cache or compute); results in cell order.
@@ -857,6 +911,7 @@ class ParallelRunner:
                    sink: List[Tuple[str, str, Optional[Dict[str, Any]]]]
                    ) -> List[Any]:
         started = time.perf_counter()
+        tier_before = self._tier_counts()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
         records: List[Tuple[str, str, str]] = []
@@ -911,7 +966,8 @@ class ParallelRunner:
             self._drive(tasks, stats, settle, fail)
         finally:
             self._finish_report(outcomes, started, label, artifact_counts,
-                                stats, planned=len(cells), graph=graph)
+                                stats, planned=len(cells), graph=graph,
+                                tier_before=tier_before)
         if self.verbose:
             print(self.last_report.table())
         return results
@@ -943,6 +999,7 @@ class ParallelRunner:
             sink: List[Tuple[str, str, Optional[Dict[str, Any]]]]
     ) -> List[float]:
         started = time.perf_counter()
+        tier_before = self._tier_counts()
         results: List[Any] = [None] * len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
         records: List[Tuple[str, str, str]] = []
@@ -1057,7 +1114,8 @@ class ParallelRunner:
         finally:
             self._finish_report(outcomes, started, label, artifact_counts,
                                 stats, planned=len(cells),
-                                batches=batches, batched=batched, graph=graph)
+                                batches=batches, batched=batched, graph=graph,
+                                tier_before=tier_before)
         if self.verbose:
             print(self.last_report.table())
         return results
@@ -1097,6 +1155,8 @@ class ParallelRunner:
             "exec/graph-shared": report.graph_shared,
             "exec/graph-denied": report.graph_denied,
             "exec/graph-prelude": report.graph_prelude,
+            "exec/store-shared-hits": report.store_shared_hits,
+            "exec/store-shared-fills": report.store_shared_fills,
         }
 
     def _write_events(self,
@@ -1181,7 +1241,7 @@ class ParallelRunner:
         if not items or self.artifact_root is None or not graph_enabled():
             return None
         try:
-            pstore = ResultStore(self.artifact_root)
+            pstore = make_store(self.artifact_root, self.shared_root)
             model = CostModel.load(pstore)
             plan = plan_cells(items, pstore, model)
         except Exception:
@@ -1254,7 +1314,11 @@ class ParallelRunner:
         read_bytes = artifact_counts.get("read_bytes", 0)
         read_us = artifact_counts.get("read_us", 0)
         if read_bytes and read_us:
-            model.observe_load(read_bytes, read_us / 1e6)
+            model.observe_load(read_bytes, read_us / 1e6, tier="local")
+        shared_bytes = artifact_counts.get("shared_read_bytes", 0)
+        shared_us = artifact_counts.get("shared_read_us", 0)
+        if shared_bytes and shared_us:
+            model.observe_load(shared_bytes, shared_us / 1e6, tier="shared")
         model.save(pstore)
 
     # -- shared fault-tolerant drive machinery ------------------------------
@@ -1303,19 +1367,42 @@ class ParallelRunner:
         if (os.environ.get("REPRO_RUN_MANIFEST", "").lower()
                 in DISABLED_SENTINELS):
             return None
+        exec_info = {"backend": self.backend_name, "jobs": str(self.jobs)}
+        if self.workers_spec is not None:
+            exec_info["workers"] = self.workers_spec
+        if self.shared_root is not None:
+            exec_info["shared_store"] = self.shared_root
         manifest = RunManifest.create(self.store.root, label=label,
-                                      command=self.command, cells=records)
+                                      command=self.command, cells=records,
+                                      exec_info=exec_info)
         self.last_manifest = manifest
         return manifest
+
+    def _tier_counts(self) -> Dict[str, int]:
+        """Shared-tier counters of the result store (empty if untiered)."""
+        counts = getattr(self.store, "tier_counts", None)
+        return dict(counts()) if callable(counts) else {}
 
     def _finish_report(self, outcomes: Sequence[Optional[CellOutcome]],
                        started: float, label: str,
                        artifact_counts: Dict[str, int], stats: _DriveStats,
                        planned: int, batches: int = 0,
                        batched: int = 0,
-                       graph: Optional[Dict[str, int]] = None) -> ExecReport:
+                       graph: Optional[Dict[str, int]] = None,
+                       tier_before: Optional[Dict[str, int]] = None
+                       ) -> ExecReport:
         self._finish_costs(artifact_counts)
         graph = graph or {}
+        # Shared-tier traffic: parent-side result lookups (store tier
+        # counter deltas over this drive) plus worker-side artifact
+        # reads (shipped back in the artifact count deltas).
+        tier_before = tier_before or {}
+        tier_now = self._tier_counts()
+        shared_hits = (tier_now.get("shared_hits", 0)
+                       - tier_before.get("shared_hits", 0)
+                       + artifact_counts.get("shared_hits", 0))
+        shared_fills = (tier_now.get("shared_fills", 0)
+                        - tier_before.get("shared_fills", 0))
         self.last_report = ExecReport(
             outcomes=tuple(outcome for outcome in outcomes
                            if outcome is not None),
@@ -1340,6 +1427,9 @@ class ParallelRunner:
             graph_shared=graph.get("shared", 0),
             graph_denied=graph.get("denied", 0),
             graph_prelude=graph.get("prelude", 0),
+            backend=self.backend_name,
+            store_shared_hits=shared_hits,
+            store_shared_fills=shared_fills,
         )
         return self.last_report
 
@@ -1365,7 +1455,8 @@ class ParallelRunner:
             try:
                 result, seconds, delta, tele = _execute_cell(
                     task.cell, task.key, self.artifact_root, task.attempt,
-                    False, obs.enabled(), self._deny_loads)
+                    False, obs.enabled(), self._deny_loads,
+                    shared_root=self.shared_root)
             except KeyboardInterrupt:
                 queue.appendleft(task)
                 raise
@@ -1375,95 +1466,140 @@ class ParallelRunner:
             else:
                 settle(task, result, seconds, delta, tele)
 
+    def _make_backend(self, workers: int) -> ExecutionBackend:
+        return create_backend(self.backend_name, workers, self.workers_spec)
+
+    def _request(self, task: _Task) -> Dict[str, Any]:
+        """Picklable execution request a backend ships to a worker."""
+        return {
+            "cell": task.cell,
+            "key": task.key,
+            "artifact_root": self.artifact_root,
+            "shared_root": self.shared_root,
+            "attempt": task.attempt,
+            "telemetry": obs.enabled(),
+            "deny_loads": self._deny_loads,
+        }
+
     def _drive_parallel(self, queue: Deque[_Task], settle, fail, split,
                         stats: _DriveStats, workers: int) -> None:
-        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-            max_workers=workers)
-        running: Dict[Future, _Task] = {}
+        backend = self._make_backend(workers)
+        try:
+            backend.start()
+        except BackendUnavailable as exc:
+            print(f"repro.exec: {self.backend_name} backend unavailable "
+                  f"({exc}); running serially", file=sys.stderr)
+            self._drive_serial(queue, settle, fail, split, stats)
+            return
+        running: Dict[int, _Task] = {}
+        next_id = 0
         try:
             while True:
-                if pool is None:
-                    # Pool died max_pool_rebuilds times: finish the
-                    # remaining cells in-process.
-                    self._drive_serial(queue, settle, fail, split, stats)
-                    return
+                need_rebuild = False
+                # Innocent in-flight cells requeued by a rebuild keep
+                # their attempt number after a watchdog timeout (the
+                # straggler is at fault, not they) but are bumped after
+                # a worker loss (whether *this* cell crashed the worker
+                # is unknowable, and a bump keeps first-attempt-only
+                # injected crashes from refiring).
+                bump_on_rebuild = True
                 # Sliding submission window: at most ``workers``
-                # futures in flight, so every running future really is
+                # requests in flight, so every running task really is
                 # running and the watchdog deadline below is a compute
                 # deadline, not a queue-wait deadline.
                 while queue and len(running) < workers and stats.abort is None:
                     task = queue.popleft()
                     try:
-                        future = pool.submit(
-                            _execute_cell, task.cell, task.key,
-                            self.artifact_root, task.attempt, True,
-                            obs.enabled(), self._deny_loads)
-                    except Exception:
+                        backend.submit(next_id, self._request(task))
+                    except BackendUnavailable:
                         queue.appendleft(task)
-                        pool = self._recover_pool(pool, running, queue,
-                                                  stats, workers)
+                        need_rebuild = True
                         break
+                    except Exception as exc:
+                        # The request itself is bad (e.g. unpicklable
+                        # cell): a cell-level failure, not a transport
+                        # problem.
+                        self._after_failure(task, exc, "error", queue,
+                                            stats, fail, split)
+                        continue
                     task.started = time.monotonic()
-                    running[future] = task
-                if not running:
-                    if stats.abort is not None or not queue:
-                        return
-                    continue
-                done, _ = wait(set(running), timeout=self._poll_interval(),
-                               return_when=FIRST_COMPLETED)
-                broken = False
-                for future in done:
-                    task = running.pop(future)
-                    try:
-                        result, seconds, delta, tele = future.result()
-                    except BrokenProcessPool:
-                        # The pool died under this future; whether this
-                        # very cell crashed the worker is unknowable,
-                        # so bump its attempt (any first-attempt-only
-                        # injected crash will not refire) and requeue.
-                        broken = True
-                        task.attempt += 1
+                    running[next_id] = task
+                    next_id += 1
+                if not need_rebuild:
+                    if not running:
+                        if stats.abort is not None or not queue:
+                            return
+                        need_rebuild = True  # nothing submitted cleanly
+                    else:
+                        for frame in backend.poll(self._poll_interval()):
+                            task = running.pop(frame.task_id, None)
+                            if task is None:
+                                continue
+                            if frame.status == FRAME_OK:
+                                result, seconds, delta, tele = frame.payload
+                                settle(task, result, seconds, delta, tele)
+                            elif frame.status == FRAME_LOST:
+                                # A worker died under this cell; bump
+                                # its attempt and requeue — exactly the
+                                # old BrokenProcessPool path.
+                                task.attempt += 1
+                                stats.requeued += 1
+                                queue.append(task)
+                                need_rebuild = True
+                            else:
+                                self._after_failure(task, frame.payload,
+                                                    "error", queue, stats,
+                                                    fail, split)
+                        if self.cell_timeout is not None and running:
+                            now = time.monotonic()
+                            expired = [
+                                task_id
+                                for task_id, task in running.items()
+                                if now - task.started >= self.cell_timeout]
+                            for task_id in expired:
+                                task = running.pop(task_id)
+                                backend.discard(task_id)
+                                stats.timeouts += 1
+                                timeout_exc = TimeoutError(
+                                    f"cell exceeded cell-timeout of "
+                                    f"{self.cell_timeout:g}s")
+                                self._after_failure(task, timeout_exc,
+                                                    "timeout", queue, stats,
+                                                    fail, split)
+                            if expired:
+                                # The stragglers still occupy worker
+                                # slots; the only way to reclaim that
+                                # capacity is a rebuild.
+                                need_rebuild = True
+                                bump_on_rebuild = False
+                if need_rebuild:
+                    # Tear every worker down and requeue unfinished
+                    # cells — everything already settled stays settled
+                    # (and stored), so a rebuild loses zero completed
+                    # results.
+                    for task in running.values():
+                        if bump_on_rebuild:
+                            task.attempt += 1
                         stats.requeued += 1
                         queue.append(task)
-                    except Exception as exc:
-                        self._after_failure(task, exc, "error", queue, stats,
-                                            fail, split)
-                    else:
-                        settle(task, result, seconds, delta, tele)
-                if broken:
-                    pool = self._recover_pool(pool, running, queue, stats,
-                                              workers)
-                    continue
-                if self.cell_timeout is not None and running:
-                    now = time.monotonic()
-                    expired = [(future, task)
-                               for future, task in running.items()
-                               if now - task.started >= self.cell_timeout]
-                    if expired:
-                        for future, task in expired:
-                            del running[future]
-                            future.cancel()
-                            stats.timeouts += 1
-                            timeout_exc = TimeoutError(
-                                f"cell exceeded cell-timeout of "
-                                f"{self.cell_timeout:g}s")
-                            self._after_failure(task, timeout_exc, "timeout",
-                                                queue, stats, fail, split)
-                        # The stragglers still occupy worker processes;
-                        # the only way to reclaim that capacity is a
-                        # pool rebuild.  Innocent in-flight cells are
-                        # requeued without an attempt bump.
-                        pool = self._recover_pool(pool, running, queue,
-                                                  stats, workers,
-                                                  bump_attempt=False)
-        except BaseException:
-            if pool is not None:
-                self._kill_pool(pool)
-                pool = None
-            raise
+                    running.clear()
+                    stats.rebuilds += 1
+                    recovered = False
+                    if stats.rebuilds <= self.max_pool_rebuilds:
+                        try:
+                            backend.rebuild()
+                            recovered = True
+                        except BackendUnavailable:
+                            recovered = False
+                    if not recovered:
+                        # Rebuild budget spent (or workers will not
+                        # come back): finish the remaining cells
+                        # in-process.
+                        backend.close()
+                        self._drive_serial(queue, settle, fail, split, stats)
+                        return
         finally:
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
+            backend.close()
 
     def _after_failure(self, task: _Task, exc: BaseException, kind: str,
                        queue: Deque[_Task], stats: _DriveStats, fail,
@@ -1488,45 +1624,6 @@ class ParallelRunner:
         if stats.abort is None and self.on_error == "raise":
             stats.abort = failure
         fail(task, failure)
-
-    def _recover_pool(self, pool: ProcessPoolExecutor,
-                      running: Dict[Future, _Task], queue: Deque[_Task],
-                      stats: _DriveStats, workers: int,
-                      bump_attempt: bool = True
-                      ) -> Optional[ProcessPoolExecutor]:
-        """Tear down a dead/stuck pool; requeue its in-flight cells.
-
-        Returns the replacement pool, or ``None`` once the rebuild
-        budget is spent (the caller then degrades to serial).  Only
-        unfinished cells are requeued — everything already settled
-        stays settled (and stored), so a pool death loses zero
-        completed results.
-        """
-        for task in running.values():
-            if bump_attempt:
-                task.attempt += 1
-            stats.requeued += 1
-            queue.append(task)
-        running.clear()
-        self._kill_pool(pool)
-        stats.rebuilds += 1
-        if stats.rebuilds > self.max_pool_rebuilds:
-            return None
-        return ProcessPoolExecutor(max_workers=workers)
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Forcibly stop a pool whose workers may be dead or hung."""
-        processes = dict(getattr(pool, "_processes", None) or {})
-        for process in processes.values():
-            try:
-                process.terminate()
-            except Exception:
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
 
     def _poll_interval(self) -> Optional[float]:
         """Wait quantum for the parallel loop; None = block until done."""

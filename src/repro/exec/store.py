@@ -297,8 +297,21 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
-        self._rewrite_index(survivors)
-        self._count = len(survivors)
+        # Writers are lock-free, so a blob can land between the ranking
+        # snapshot and this compaction (a concurrent put, or a
+        # read-through fill from the shared tier while gc runs).
+        # Re-list and keep index entries for the newcomers — ranked by
+        # their current log positions — so compaction never erases
+        # their recency and marks them for premature eviction.
+        survivor_set = set(survivors)
+        extras = [path for path in self._blobs()
+                  if path not in survivor_set]
+        if extras:
+            order = self._recency()
+            extras.sort(key=lambda path: order.get(
+                f"{path.parent.name}/{path.name}", -1))
+        self._rewrite_index(survivors + extras)
+        self._count = len(survivors) + len(extras)
         return removed
 
     def _evict_locked(self) -> None:
@@ -372,3 +385,135 @@ class ResultStore:
             pass
         self._count = 0
         return removed
+
+
+# -- tiered (local + shared) store ----------------------------------------
+
+
+@dataclass
+class TierStats:
+    """Per-tier counters for one :class:`TieredResultStore`."""
+
+    local_hits: int = 0
+    shared_hits: int = 0    # read-through hits served by the shared tier
+    shared_fills: int = 0   # write-backs pushed up into the shared tier
+
+
+class TieredResultStore(ResultStore):
+    """Two-level store: local disk backed by a shared directory.
+
+    Lookups try the local tier first; a local miss that hits the
+    shared tier is *read through* — the blob is promoted into the
+    local tier (best effort) and counted as a hit, so a result
+    computed by any worker on any host serves every other worker at
+    local-disk speed after the first pull.  Writes go to both tiers
+    (shared write-back is best effort: a full or flaky shared mount
+    degrades to local-only caching, never to a failed run).
+
+    Deny-set and cache-key semantics are untouched: tiers only change
+    *where* a blob is found, never which key names it or whether a
+    payload validates.  A half-written or corrupt shared blob fails
+    the same schema/decode checks as a local one and degrades to a
+    miss.  ``last_tier`` records where the most recent hit came from
+    (the artifact layer uses it for per-tier throughput accounting).
+    """
+
+    def __init__(self, root, shared, max_entries: int = 100_000) -> None:
+        super().__init__(root, max_entries=max_entries)
+        self.shared = ResultStore(shared, max_entries=max_entries)
+        self.tiers = TierStats()
+        self.last_tier = "local"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = super().get(key)
+        if payload is not None:
+            self.last_tier = "local"
+            self.tiers.local_hits += 1
+            return payload
+        payload = self.shared.get(key)
+        if payload is None:
+            return None
+        try:
+            super().put(key, payload)  # read-through fill
+        except OSError:
+            pass
+        self.stats.misses -= 1  # the local-tier miss became a hit
+        self.stats.hits += 1
+        self.tiers.shared_hits += 1
+        self.last_tier = "shared"
+        return payload
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        data = super().get_bytes(key)
+        if data is not None:
+            self.last_tier = "local"
+            self.tiers.local_hits += 1
+            return data
+        data = self.shared.get_bytes(key)
+        if data is None:
+            return None
+        try:
+            super().put_bytes(key, data)  # read-through fill
+        except OSError:
+            pass
+        self.stats.misses -= 1
+        self.stats.hits += 1
+        self.tiers.shared_hits += 1
+        self.last_tier = "shared"
+        return data
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        super().put(key, payload)
+        try:
+            self.shared.put(key, payload)
+            self.tiers.shared_fills += 1
+        except OSError:
+            pass
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        super().put_bytes(key, data)
+        try:
+            self.shared.put_bytes(key, data)
+            self.tiers.shared_fills += 1
+        except OSError:
+            pass
+
+    def stat_bytes_tier(self, key: str) -> Optional[tuple]:
+        """``(size, tier)`` for the blob, or ``None``; no counters."""
+        size = super().stat_bytes(key)
+        if size is not None:
+            return size, "local"
+        size = self.shared.stat_bytes(key)
+        if size is not None:
+            return size, "shared"
+        return None
+
+    def stat_bytes(self, key: str) -> Optional[int]:
+        stat = self.stat_bytes_tier(key)
+        return None if stat is None else stat[0]
+
+    def tier_counts(self) -> Dict[str, int]:
+        return {
+            "local_hits": self.tiers.local_hits,
+            "shared_hits": self.tiers.shared_hits,
+            "shared_fills": self.tiers.shared_fills,
+        }
+
+
+def resolve_shared(shared: str = "") -> Optional[str]:
+    """Shared-tier root from ``--shared-store`` / ``REPRO_SHARED_STORE``.
+
+    Empty defers to the environment; the usual disable sentinels
+    (``off`` / ``none`` / ``0``) turn the shared tier off.
+    """
+    value = shared or os.environ.get("REPRO_SHARED_STORE", "")
+    if not value or value.lower() in DISABLED_SENTINELS:
+        return None
+    return value
+
+
+def make_store(root, shared: Optional[str] = None) -> ResultStore:
+    """A store over ``root``, tiered onto ``shared`` when given."""
+    if shared:
+        return TieredResultStore(root, shared)
+    return ResultStore(root)

@@ -1,0 +1,148 @@
+"""Long-lived cell-execution worker: ``python -m repro.exec.worker``.
+
+One worker serves one slot of a :class:`~repro.exec.backends.fleet.
+WorkerFleetBackend` (or its SSH variant).  It speaks the framing
+protocol from :mod:`repro.exec.protocol` over stdin/stdout:
+
+* on startup it emits a ``hello`` frame (pid + protocol version);
+* ``config`` frames apply environment knobs (``REPRO_*``) before any
+  cell runs — the only state propagation an SSH-tunneled worker gets;
+* ``run`` frames carry a task id plus a nested pickle of the execution
+  request; the worker decodes it, runs the cell through exactly the
+  same :func:`~repro.exec.runner._execute_cell` entry point the local
+  pool uses (so results are bit-identical), and replies with a
+  ``result`` frame — or an ``error`` frame whose structured fields
+  (exception type, message, remote traceback) the parent folds into a
+  :class:`~repro.exec.faults.CellFailure`;
+* ``shutdown`` (or stdin EOF) ends the loop cleanly.
+
+Stray ``print`` calls inside simulation code must never corrupt the
+frame stream, so the worker claims the raw stdout buffer for frames
+and rebinds ``sys.stdout`` to stderr before importing anything
+heavyweight.  Per-process memoization (segments, runners, artifact
+caches) accumulates across the cells one worker executes — the same
+reuse a pool worker gets, now across a whole run instead of one drive.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import traceback
+from typing import Any, BinaryIO, Dict
+
+from repro.exec.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+
+
+def apply_env(env: Dict[str, Any]) -> None:
+    """Apply a ``config`` frame's environment map to this process.
+
+    ``None`` values unset; everything else is stringified.  Only the
+    mapping's own keys are touched, so a worker keeps its inherited
+    environment for anything the parent did not explicitly propagate.
+    """
+    for name, value in env.items():
+        if not isinstance(name, str):
+            continue
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = str(value)
+
+
+def execute_request(request: Dict[str, Any]) -> Any:
+    """Run one decoded execution request through the shared entry point."""
+    from repro.exec.runner import _execute_cell
+
+    return _execute_cell(
+        request["cell"],
+        request["key"],
+        request.get("artifact_root"),
+        request.get("attempt", 1),
+        True,
+        request.get("telemetry", False),
+        frozenset(request.get("deny_loads", ())),
+        shared_root=request.get("shared_root"),
+    )
+
+
+def _error_frame(task_id: Any, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "op": "error",
+        "id": task_id,
+        "exc_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)),
+    }
+
+
+def _handle_run(message: Dict[str, Any], writer: BinaryIO) -> None:
+    task_id = message.get("id")
+    try:
+        request = pickle.loads(message["task"])
+        payload = execute_request(request)
+    except Exception as exc:
+        write_frame(writer, _error_frame(task_id, exc))
+        return
+    try:
+        write_frame(writer, {"op": "result", "id": task_id,
+                             "payload": payload})
+    except FrameError:
+        raise
+    except Exception as exc:
+        # The result itself failed to pickle/frame; surface that as a
+        # structured failure rather than dying with a half-built frame
+        # already on the wire... write_frame buffers the whole frame
+        # before writing, so the stream is still clean here.
+        write_frame(writer, _error_frame(task_id, exc))
+
+
+def serve(reader: BinaryIO, writer: BinaryIO) -> int:
+    """Frame loop: read requests until EOF/shutdown.  Returns exit code."""
+    write_frame(writer, {"op": "hello", "pid": os.getpid(),
+                         "protocol": PROTOCOL_VERSION})
+    while True:
+        try:
+            message = read_frame(reader)
+        except FrameError:
+            # The inbound stream is unrecoverable (truncated/corrupt
+            # frame); exit nonzero so the parent records a worker loss.
+            return 1
+        if message is None:
+            return 0
+        op = message.get("op") if isinstance(message, dict) else None
+        if op == "shutdown":
+            return 0
+        if op == "config":
+            apply_env(dict(message.get("env") or {}))
+        elif op == "run":
+            _handle_run(message, writer)
+        else:
+            write_frame(writer, {
+                "op": "error", "id": None, "exc_type": "ProtocolError",
+                "message": f"unknown frame op {op!r}", "traceback": "",
+            })
+
+
+def main() -> int:
+    writer = sys.stdout.buffer
+    # Frames own the real stdout; reroute prints (ours and any stray
+    # ones inside simulation code) to stderr.
+    sys.stdout = sys.stderr
+    try:
+        return serve(sys.stdin.buffer, writer)
+    except BrokenPipeError:
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

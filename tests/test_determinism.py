@@ -180,6 +180,73 @@ class TestFaultedPins:
         assert engine.last_report.failures == ()
 
 
+class TestFleetPins:
+    """The worker-fleet backend moves execution into long-lived framed
+    subprocesses — the transport must never touch results.  Pins must
+    reproduce local vs fleet, cold vs warm, and through injected
+    worker loss."""
+
+    def test_fleet_matches_local_pins(self):
+        engine = ParallelRunner(jobs=2, store=None, verbose=False,
+                                backend="fleet")
+        _assert_pinned(engine)
+        assert engine.last_report.backend == "fleet"
+
+    def test_fleet_cold_then_warm_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        _assert_pinned(ParallelRunner(jobs=2, store=store, verbose=False,
+                                      backend="fleet"))
+        warm = ParallelRunner(jobs=2, store=store, verbose=False,
+                              backend="fleet")
+        _assert_pinned(warm)
+        assert warm.last_report.hits == warm.last_report.cells
+
+    def test_single_worker_fleet_matches(self):
+        _assert_pinned(ParallelRunner(jobs=1, store=None, verbose=False,
+                                      backend="fleet", workers="2"))
+
+    def test_fleet_worker_loss_reproduces_pins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:every=3")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        engine = ParallelRunner(jobs=2, store=None, verbose=False,
+                                backend="fleet", retries=1)
+        _assert_pinned(engine)
+        # The crash killed a live fleet worker mid-cell; the lost-frame
+        # requeue + rebuild machinery recovered it exactly once.
+        assert engine.last_report.pool_rebuilds >= 1
+        assert engine.last_report.requeued >= 1
+        assert engine.last_report.failures == ()
+
+
+class TestSharedTierPins:
+    """A result computed through one node's store must serve any other
+    node as a shared-tier read-through hit, bit-identically."""
+
+    def test_read_through_between_stores(self, tmp_path):
+        from repro.exec.store import TieredResultStore
+
+        cells = _single_cells()
+        shared = tmp_path / "shared"
+        first = ParallelRunner(
+            jobs=2, verbose=False, backend="fleet",
+            store=TieredResultStore(tmp_path / "node-a", shared))
+        results = first.run(cells, label="pin/single")
+        assert stable_hash({"results": [r.to_dict() for r in results]}) \
+            == SINGLE_HASH
+        assert first.last_report.store_shared_fills >= len(cells)
+
+        # A different node: fresh local tier, same shared directory.
+        second = ParallelRunner(
+            jobs=2, verbose=False, backend="fleet",
+            store=TieredResultStore(tmp_path / "node-b", shared))
+        results = second.run(cells, label="pin/single")
+        assert stable_hash({"results": [r.to_dict() for r in results]}) \
+            == SINGLE_HASH
+        report = second.last_report
+        assert report.hits == report.cells
+        assert report.store_shared_hits == len(cells)
+
+
 class TestTelemetryPins:
     """Telemetry reads ``perf_counter`` and its own counters — never the
     ``random`` module or simulator state — so every pin must reproduce

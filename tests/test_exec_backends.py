@@ -1,0 +1,455 @@
+"""Tests for the distributed execution mesh: framing protocol, worker
+serve loop, and the pluggable fleet/ssh/local backends.
+
+The live-subprocess tests spawn real ``python -m repro.exec.worker``
+processes and drive them through the exact frames the runner sends, so
+every failure mode the drive loop depends on — structured errors,
+worker loss, discard filtering, rebuilds — is exercised against the
+real transport, not a mock.
+"""
+
+import io
+import pickle
+import sys
+import time
+
+import pytest
+
+from repro.config import TINY
+from repro.exec import SingleCell, TraceSpec, stable_hash
+from repro.exec.backends import (
+    FRAME_ERROR,
+    FRAME_LOST,
+    FRAME_OK,
+    BackendUnavailable,
+    LocalPoolBackend,
+    SSHBackend,
+    WorkerFleetBackend,
+    parse_worker_spec,
+    resolve_backend_name,
+    resolve_slots,
+    resolve_workers_spec,
+    total_slots,
+    worker_command,
+)
+from repro.exec.faults import ConfigError, RemoteCellError, make_failure
+from repro.exec.protocol import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    FrameError,
+    FrameOversized,
+    FrameTruncated,
+    read_frame,
+    write_frame,
+)
+from repro.exec.worker import serve
+
+ACCESSES = 2_000
+
+
+def _cell(benchmark="gamess", policy="lru"):
+    return SingleCell(
+        trace=TraceSpec(benchmark, TINY.hierarchy.llc_bytes, ACCESSES),
+        policy=policy,
+        hierarchy=TINY.hierarchy,
+        warmup_fraction=TINY.warmup_fraction,
+    )
+
+
+def _request(cell):
+    return {
+        "cell": cell,
+        "key": stable_hash(cell.key_payload()),
+        "artifact_root": None,
+        "attempt": 1,
+        "telemetry": False,
+        "deny_loads": (),
+    }
+
+
+def _serial_result(cell):
+    from repro.exec.runner import _execute_cell
+
+    result, _, _, _ = _execute_cell(
+        cell, stable_hash(cell.key_payload()), None, 1, False, False,
+        frozenset())
+    return result
+
+
+def _encode(*messages) -> io.BytesIO:
+    stream = io.BytesIO()
+    for message in messages:
+        write_frame(stream, message)
+    stream.seek(0)
+    return stream
+
+
+def _decode_all(buffer: bytes):
+    stream = io.BytesIO(buffer)
+    frames = []
+    while True:
+        message = read_frame(stream)
+        if message is None:
+            return frames
+        frames.append(message)
+
+
+def _run_frame(task_id, request):
+    return {"op": "run", "id": task_id,
+            "task": pickle.dumps(request,
+                                 protocol=pickle.HIGHEST_PROTOCOL)}
+
+
+class TestFraming:
+    def test_round_trip(self):
+        stream = _encode({"op": "hello", "pid": 42}, {"op": "shutdown"})
+        assert read_frame(stream) == {"op": "hello", "pid": 42}
+        assert read_frame(stream) == {"op": "shutdown"}
+        assert read_frame(stream) is None  # clean EOF
+
+    def test_empty_stream_is_clean_eof(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameTruncated):
+            read_frame(io.BytesIO(MAGIC + b"\x10"))
+
+    def test_truncated_payload(self):
+        stream = _encode({"op": "run", "id": 1})
+        whole = stream.getvalue()
+        with pytest.raises(FrameTruncated):
+            read_frame(io.BytesIO(whole[:-3]))
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(b"XXXX" + (4).to_bytes(4, "little") + b"abcd"))
+
+    def test_oversized_declared_length_never_allocates(self):
+        huge = (1 << 31).to_bytes(4, "little")
+        with pytest.raises(FrameOversized):
+            read_frame(io.BytesIO(MAGIC + huge))
+
+    def test_oversized_write_refused(self, monkeypatch):
+        from repro.exec import protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameOversized):
+            protocol.write_frame(io.BytesIO(), {"blob": "x" * 1_000})
+
+    def test_undecodable_payload(self):
+        junk = b"\x00not a pickle"
+        stream = io.BytesIO(
+            MAGIC + len(junk).to_bytes(4, "little") + junk)
+        with pytest.raises(FrameError):
+            read_frame(stream)
+
+
+class TestWorkerServe:
+    """The worker frame loop, driven in-process over BytesIO pipes."""
+
+    def _serve(self, *messages):
+        writer = io.BytesIO()
+        code = serve(_encode(*messages), writer)
+        return code, _decode_all(writer.getvalue())
+
+    def test_hello_then_clean_eof(self):
+        code, frames = self._serve()
+        assert code == 0
+        [hello] = frames
+        assert hello["op"] == "hello"
+        assert hello["protocol"] == PROTOCOL_VERSION
+
+    def test_shutdown_op_exits_cleanly(self):
+        code, frames = self._serve({"op": "shutdown"})
+        assert code == 0
+        assert len(frames) == 1  # just the hello
+
+    def test_truncated_request_stream_exits_nonzero(self):
+        reader = io.BytesIO(MAGIC + (100).to_bytes(4, "little") + b"short")
+        writer = io.BytesIO()
+        assert serve(reader, writer) == 1
+
+    def test_unknown_op_yields_protocol_error(self):
+        code, frames = self._serve({"op": "launch-missiles"},
+                                   {"op": "shutdown"})
+        assert code == 0
+        error = frames[1]
+        assert error["op"] == "error"
+        assert error["exc_type"] == "ProtocolError"
+
+    def test_corrupt_nested_task_pickle_is_structured_error(self):
+        # The envelope parses; the nested request does not.  The reply
+        # must carry the task id so the parent can settle the cell.
+        code, frames = self._serve(
+            {"op": "run", "id": 7, "task": b"\x00garbage"})
+        assert code == 0
+        error = frames[1]
+        assert error["op"] == "error"
+        assert error["id"] == 7
+
+    def test_unimportable_cell_class_is_structured_error(self):
+        # A GLOBAL opcode naming a module the worker does not have:
+        # exactly what an unknown cell type looks like on the wire.
+        bad_task = b"cno_such_module_xyz\nNoSuchCell\n."
+        code, frames = self._serve({"op": "run", "id": 3, "task": bad_task})
+        assert code == 0
+        error = frames[1]
+        assert error["op"] == "error"
+        assert error["id"] == 3
+        assert "no_such_module_xyz" in error["message"]
+
+    def test_config_frame_applies_and_unsets_env(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+        code, frames = self._serve(
+            {"op": "config",
+             "env": {"REPRO_FAULT_INJECT": "raise:every=1,times=99"}},
+            _run_frame(5, _request(_cell())),
+            {"op": "config", "env": {"REPRO_FAULT_INJECT": None}},
+        )
+        assert code == 0
+        error = frames[1]
+        assert error["op"] == "error"
+        assert error["id"] == 5
+        assert error["exc_type"] == "InjectedFault"
+        assert "REPRO_FAULT_INJECT" not in os.environ
+
+    def test_run_executes_cell_bit_identically(self):
+        cell = _cell()
+        code, frames = self._serve(_run_frame(11, _request(cell)))
+        assert code == 0
+        reply = frames[1]
+        assert reply["op"] == "result"
+        assert reply["id"] == 11
+        result, seconds, _, _ = reply["payload"]
+        assert result == _serial_result(cell)
+        assert seconds >= 0.0
+
+
+def _poll_until(backend, deadline_s=120.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        frames = backend.poll(timeout=0.5)
+        if frames:
+            return frames
+    raise AssertionError("no frame from backend before deadline")
+
+
+class TestWorkerFleetBackend:
+    """Live worker subprocesses over real pipes."""
+
+    def test_executes_cell_and_matches_serial(self):
+        cell = _cell()
+        backend = WorkerFleetBackend([worker_command()])
+        backend.start()
+        try:
+            backend.submit(1, _request(cell))
+            assert backend.in_flight() == [1]
+            [frame] = _poll_until(backend)
+            assert frame.task_id == 1
+            assert frame.status == FRAME_OK
+            result, _, _, _ = frame.payload
+            assert result == _serial_result(cell)
+            assert backend.in_flight() == []
+        finally:
+            backend.close()
+
+    def test_remote_exception_surfaces_original_type(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "raise:every=1,times=99",
+                 "REPRO_RETRY_BACKOFF": "0"})
+        backend.start()
+        try:
+            backend.submit(1, _request(_cell()))
+            [frame] = _poll_until(backend)
+            assert frame.status == FRAME_ERROR
+            exc = frame.payload
+            assert isinstance(exc, RemoteCellError)
+            # make_failure unwraps the remote wrapper, so the recorded
+            # failure names the original exception type.
+            failure = make_failure("cell", "key", exc, "error", 1)
+            assert failure.exc_type == "InjectedFault"
+            assert "InjectedFault" in failure.traceback
+        finally:
+            backend.close()
+
+    def test_killed_worker_yields_lost_frame(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=99"})
+        backend.start()
+        try:
+            backend.submit(4, _request(_cell()))
+            backend._fleet[0].proc.kill()
+            [frame] = _poll_until(backend)
+            assert frame.task_id == 4
+            assert frame.status == FRAME_LOST
+            assert backend.in_flight() == []
+        finally:
+            backend.close()
+
+    def test_submit_beyond_capacity_is_unavailable(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=99"})
+        backend.start()
+        try:
+            backend.submit(1, _request(_cell()))
+            with pytest.raises(BackendUnavailable):
+                backend.submit(2, _request(_cell("soplex")))
+        finally:
+            backend.close()
+
+    def test_discarded_task_never_surfaces(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=99"})
+        backend.start()
+        try:
+            backend.submit(9, _request(_cell()))
+            backend.discard(9)
+            assert backend.in_flight() == []
+            backend._fleet[0].proc.kill()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                assert backend.poll(timeout=0.2) == []
+                if not backend._fleet[0].alive:
+                    break
+        finally:
+            backend.close()
+
+    def test_rebuild_returns_dropped_ids_and_restores_capacity(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=1"})
+        backend.start()
+        try:
+            backend.submit(1, _request(_cell()))
+            assert backend.rebuild() == [1]
+            # The hang rule fired on attempt 1; the resubmitted attempt
+            # runs clean on the fresh worker.
+            request = _request(_cell())
+            request["attempt"] = 2
+            backend.submit(2, request)
+            [frame] = _poll_until(backend)
+            assert frame.task_id == 2
+            assert frame.status == FRAME_OK
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self):
+        backend = WorkerFleetBackend([worker_command()])
+        backend.start()
+        backend.close()
+        backend.close()
+        assert backend.in_flight() == []
+
+
+class TestLocalPoolBackend:
+    def test_executes_cell_and_matches_serial(self):
+        cell = _cell()
+        backend = LocalPoolBackend(1)
+        backend.start()
+        try:
+            backend.submit(1, _request(cell))
+            [frame] = _poll_until(backend)
+            assert frame.status == FRAME_OK
+            result, _, _, _ = frame.payload
+            assert result == _serial_result(cell)
+        finally:
+            backend.close()
+
+
+class TestWorkerSpec:
+    def test_parses_hosts_and_slots(self):
+        assert parse_worker_spec("hostA:4,hostB") == [("hostA", 4),
+                                                      ("hostB", 1)]
+        assert total_slots("hostA:4,hostB:2,hostC") == 7
+
+    def test_ipv6_style_colons_take_last_field(self):
+        assert parse_worker_spec("node-1.lan:2") == [("node-1.lan", 2)]
+
+    @pytest.mark.parametrize("spec", ["", "  ", "host:abc", "host:0", ":3"])
+    def test_bad_specs_raise_config_error(self, spec):
+        with pytest.raises(ConfigError):
+            parse_worker_spec(spec)
+
+
+class TestBackendResolution:
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fleet")
+        assert resolve_backend_name("local") == "local"
+        assert resolve_backend_name() == "fleet"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_backend_name("carrier-pigeon")
+
+    def test_workers_spec_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers_spec(None) is None
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers_spec(None) == "3"
+        assert resolve_workers_spec("hostA:2") == "hostA:2"
+
+    def test_slot_sizing(self):
+        assert resolve_slots("local", 4, None) == 4
+        assert resolve_slots("fleet", 4, None) == 4
+        assert resolve_slots("fleet", 4, "2") == 2
+        assert resolve_slots("ssh", 4, "a:2,b") == 3
+
+    def test_fleet_slots_must_be_numeric_and_positive(self):
+        with pytest.raises(ConfigError):
+            resolve_slots("fleet", 4, "hostA:2")
+        with pytest.raises(ConfigError):
+            resolve_slots("fleet", 4, "0")
+
+    def test_ssh_requires_a_spec(self):
+        with pytest.raises(ConfigError):
+            resolve_slots("ssh", 4, None)
+
+
+#: A stand-in ssh client: ignores the appended "host python -m ..."
+#: operands and runs the worker module locally, so the tunnel path is
+#: exercised end to end without an sshd.
+_FAKE_SSH = (
+    "import sys, runpy; sys.argv = sys.argv[:1]; "
+    "runpy.run_module('repro.exec.worker', run_name='__main__')"
+)
+
+
+class TestSSHBackend:
+    def test_builds_one_command_per_slot(self):
+        backend = SSHBackend([("hostA", 2), ("hostB", 1)],
+                             python="python3",
+                             ssh_command=["ssh", "-o", "BatchMode=yes"])
+        expected_a = ["ssh", "-o", "BatchMode=yes", "hostA", "python3",
+                      "-m", "repro.exec.worker"]
+        expected_b = ["ssh", "-o", "BatchMode=yes", "hostB", "python3",
+                      "-m", "repro.exec.worker"]
+        assert backend._commands == [expected_a, expected_a, expected_b]
+        assert backend.workers == 3
+
+    def test_env_knobs_override_client_and_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SSH_COMMAND", "ssh -p 2222")
+        monkeypatch.setenv("REPRO_REMOTE_PYTHON", "/opt/py/bin/python")
+        backend = SSHBackend([("hostA", 1)])
+        assert backend._commands == [
+            ["ssh", "-p", "2222", "hostA", "/opt/py/bin/python",
+             "-m", "repro.exec.worker"]]
+
+    def test_tunnel_executes_cell_with_fake_ssh(self):
+        cell = _cell()
+        backend = SSHBackend([("ignored-host", 1)],
+                             ssh_command=[sys.executable, "-c", _FAKE_SSH])
+        backend.start()
+        try:
+            backend.submit(1, _request(cell))
+            [frame] = _poll_until(backend)
+            assert frame.status == FRAME_OK
+            result, _, _, _ = frame.payload
+            assert result == _serial_result(cell)
+        finally:
+            backend.close()

@@ -101,6 +101,60 @@ class TestRunManifest:
         assert list_runs(tmp_path) == []
 
 
+class TestExecFlagStripping:
+    def test_strips_space_and_equals_forms(self):
+        from repro.exec.manifest import strip_exec_flags
+
+        argv = ["compare", "--jobs", "4", "--backend=fleet",
+                "--workers", "2", "--shared-store=/mnt/s",
+                "--scale", "tiny"]
+        assert strip_exec_flags(argv) == ["compare", "--scale", "tiny"]
+
+    def test_run_id_ignores_exec_flags(self, tmp_path):
+        base = RunManifest.create(
+            tmp_path, label="t", command=["compare", "--scale", "tiny"],
+            cells=CELLS)
+        redone = RunManifest.create(
+            tmp_path, label="t",
+            command=["compare", "--scale", "tiny", "--jobs", "8",
+                     "--backend", "fleet", "--workers=4"],
+            cells=CELLS)
+        assert redone.run_id == base.run_id
+
+    def test_exec_info_updates_without_losing_progress(self, tmp_path):
+        first = RunManifest.create(
+            tmp_path, label="t", command=["compare"], cells=CELLS,
+            exec_info={"backend": "local", "jobs": "1"})
+        first.mark(CELLS[0][0], "done")
+        again = RunManifest.create(
+            tmp_path, label="t", command=["compare"], cells=CELLS,
+            exec_info={"backend": "fleet", "jobs": "2"})
+        assert again.run_id == first.run_id
+        assert again.completed() == {CELLS[0][0]}  # .done log untouched
+        loaded = RunManifest.load(tmp_path, first.run_id)
+        assert loaded.exec_info == {"backend": "fleet", "jobs": "2"}
+
+    def test_runner_records_backend_in_manifest(self, tmp_path):
+        cells = [
+            SingleCell(
+                trace=TraceSpec(name, TINY.hierarchy.llc_bytes, 2_000),
+                policy="lru",
+                hierarchy=TINY.hierarchy,
+                warmup_fraction=TINY.warmup_fraction,
+            )
+            for name in ("gamess", "soplex")
+        ]
+        engine = ParallelRunner(jobs=2, store=ResultStore(tmp_path),
+                                verbose=False, command=["compare", "-x"],
+                                backend="fleet")
+        engine.run(cells, label="t")
+        manifest = engine.last_manifest
+        assert manifest.exec_info["backend"] == "fleet"
+        assert manifest.exec_info["jobs"] == "2"
+        assert RunManifest.load(tmp_path, manifest.run_id).exec_info \
+            == manifest.exec_info
+
+
 class TestCliResume:
     def _victim_key(self):
         scale = TINY
@@ -139,6 +193,34 @@ class TestCliResume:
         assert "hits=1/2" in out
         [manifest] = list_runs(cache)
         assert manifest.is_complete
+
+    def test_resume_honors_exec_overrides(self, tmp_path, monkeypatch,
+                                          capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["compare", "--benchmarks", "gamess", "soplex",
+                "--policies", "lru", "--scale", "tiny",
+                "--cache-dir", cache, "--jobs", "1"]
+        victim = self._victim_key()
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           f"raise:key={victim[:16]},times=99")
+        assert main(argv) == 1
+        capsys.readouterr()
+        [manifest] = list_runs(cache)
+        run_id = manifest.run_id
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert main(["resume", run_id[:12], "--cache-dir", cache,
+                     "--jobs", "2", "--backend", "fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "--backend fleet" in out  # overrides in the re-driven argv
+        # Exec flags never enter the run id: the same manifest was
+        # reopened, finished, and now records the overridden settings.
+        [manifest] = list_runs(cache)
+        assert manifest.run_id == run_id
+        assert manifest.is_complete
+        assert manifest.exec_info["backend"] == "fleet"
+        assert manifest.exec_info["jobs"] == "2"
 
     def test_resume_lists_runs(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")

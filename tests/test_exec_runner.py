@@ -278,7 +278,10 @@ class TestReport:
         report = runner.last_report
         assert report.cells == 1
         assert report.misses == 1
-        assert report.jobs == 1
+        # REPRO_BACKEND/REPRO_WORKERS may resize the engine (CI's
+        # dist-smoke leg runs this suite under a 2-worker fleet), so pin
+        # the report to the engine's effective slot count, not to 1.
+        assert report.jobs == runner.jobs
         assert "unit" in report.summary()
         assert "computed" in report.table()
 
