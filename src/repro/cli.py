@@ -105,6 +105,11 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
                         help="shared read-through result-store tier "
                              "(default: $REPRO_SHARED_STORE; 'off' "
                              "disables)")
+    parser.add_argument("--hedge", type=float, default=None, metavar="MULT",
+                        help="duplicate cells running MULT times longer "
+                             "than the observed median onto idle workers; "
+                             "first completion wins (default: $REPRO_HEDGE; "
+                             "off)")
 
 
 #: Engine backing the currently dispatched command, so the top-level
@@ -130,6 +135,7 @@ def _engine(args: argparse.Namespace) -> ParallelRunner:
         backend=getattr(args, "backend", None),
         workers=getattr(args, "workers", None),
         shared_store=getattr(args, "shared_store", None) or "",
+        hedge=getattr(args, "hedge", None),
     )
     return _ACTIVE_ENGINE
 
@@ -546,7 +552,8 @@ def _override_exec_args(command: List[str],
     """Apply ``resume`` execution overrides to a recorded argv.
 
     Any override given to ``resume`` (``--jobs`` / ``--backend`` /
-    ``--workers`` / ``--shared-store``) replaces the recorded flag,
+    ``--workers`` / ``--shared-store`` / ``--hedge``) replaces the
+    recorded flag,
     whether the original used the space or ``=`` form.  Flags not
     overridden pass through untouched.  Exec flags never enter the
     run id (see :data:`repro.exec.manifest.EXEC_FLAGS`), so the
@@ -561,6 +568,8 @@ def _override_exec_args(command: List[str],
         overrides["--workers"] = args.workers
     if args.shared_store is not None:
         overrides["--shared-store"] = args.shared_store
+    if getattr(args, "hedge", None) is not None:
+        overrides["--hedge"] = str(args.hedge)
     if not overrides:
         return list(command)
     rebuilt: List[str] = []
@@ -740,6 +749,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the recorded worker spec")
     resume.add_argument("--shared-store", default=None, metavar="DIR",
                         help="override the recorded shared store tier")
+    resume.add_argument("--hedge", type=float, default=None, metavar="MULT",
+                        help="override the recorded straggler-hedge multiple")
     resume.set_defaults(func=cmd_resume)
 
     stats = sub.add_parser(

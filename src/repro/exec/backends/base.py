@@ -21,8 +21,11 @@ Contract highlights:
 * ``rebuild`` tears down every worker, returns the task ids that were
   in flight (the caller decides whether their attempts are bumped),
   and restores full submission capacity.
-* ``discard`` forgets an in-flight task (watchdog expiry): a late
-  completion for it must not surface as a frame.
+* ``discard`` forgets an in-flight task: a late completion for it must
+  not surface as a frame.  ``kill=True`` (watchdog expiry) may retire
+  the slot until the next rebuild; ``kill=False`` (the losing copy of
+  a hedge race) must leave the slot healthy — it frees up whenever the
+  duplicate work finishes.
 * ``close`` is idempotent and must never raise.
 """
 
@@ -84,8 +87,12 @@ class ExecutionBackend(ABC):
         """Task ids submitted but not yet resolved by a frame."""
 
     @abstractmethod
-    def discard(self, task_id: int) -> None:
-        """Forget an in-flight task; its late completion is dropped."""
+    def discard(self, task_id: int, kill: bool = True) -> None:
+        """Forget an in-flight task; its late completion is dropped.
+
+        ``kill=False`` is the soft variant for hedge-race losers: the
+        task is forgotten but its slot stays usable.
+        """
 
     @abstractmethod
     def rebuild(self) -> List[int]:

@@ -28,9 +28,12 @@ import queue
 import subprocess
 import sys
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence
 
+from repro.exec import health
 from repro.exec.backends.base import (
     FRAME_ERROR,
     FRAME_LOST,
@@ -45,6 +48,13 @@ from repro.exec.protocol import FrameError, read_frame, write_frame
 #: How long ``close`` waits for a worker to exit after stdin EOF
 #: before escalating to terminate/kill.
 _CLOSE_GRACE_S = 2.0
+
+#: Lines of worker stderr retained per slot for failure diagnosis.
+_STDERR_TAIL_LINES = 20
+
+#: Marker embedded in heartbeat-timeout lost frames so the runner can
+#: count them separately from plain worker deaths.
+HEARTBEAT_LOST = "heartbeat-lost"
 
 
 def worker_command() -> List[str]:
@@ -67,7 +77,13 @@ class _Worker:
     task_id: Optional[int] = None
     alive: bool = True
     ready: bool = False
+    last_seen: float = 0.0
     thread: Optional[threading.Thread] = field(default=None, repr=False)
+    stderr_thread: Optional[threading.Thread] = field(default=None,
+                                                      repr=False)
+    stderr_tail: Deque[str] = field(
+        default_factory=lambda: deque(maxlen=_STDERR_TAIL_LINES),
+        repr=False)
 
 
 class WorkerFleetBackend(ExecutionBackend):
@@ -85,6 +101,7 @@ class WorkerFleetBackend(ExecutionBackend):
         self._fleet: List[_Worker] = []
         self._events: "queue.Queue[tuple]" = queue.Queue()
         self._discarded: set = set()
+        self._hb_timeout = health.heartbeat_timeout()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -104,14 +121,20 @@ class WorkerFleetBackend(ExecutionBackend):
                ) -> Optional[_Worker]:
         try:
             proc = subprocess.Popen(list(command), stdin=subprocess.PIPE,
-                                    stdout=subprocess.PIPE)
+                                    stdout=subprocess.PIPE,
+                                    stderr=subprocess.PIPE)
         except OSError:
             return None
         worker = _Worker(proc=proc, index=index)
+        worker.last_seen = time.monotonic()
         worker.thread = threading.Thread(
             target=self._pump, args=(worker,), daemon=True,
             name=f"repro-fleet-{index}")
         worker.thread.start()
+        worker.stderr_thread = threading.Thread(
+            target=self._drain_stderr, args=(worker,), daemon=True,
+            name=f"repro-fleet-{index}-stderr")
+        worker.stderr_thread.start()
         try:
             write_frame(proc.stdin, {"op": "config", "env": self._env})
         except Exception:
@@ -129,9 +152,53 @@ class WorkerFleetBackend(ExecutionBackend):
                 # Truncated/corrupt stream or closed pipe: the worker
                 # is gone for our purposes.
                 message = None
+            if message is not None:
+                # Any inbound frame — result, error, heartbeat — proves
+                # the worker is alive; the timestamp feeds the parent's
+                # heartbeat timeout.
+                worker.last_seen = time.monotonic()
             self._events.put((worker, message))
             if message is None:
                 return
+
+    @staticmethod
+    def _drain_stderr(worker: _Worker) -> None:
+        """Reader thread: worker stderr -> tail ring + parent stderr.
+
+        The pass-through keeps worker diagnostics visible exactly as
+        when stderr was inherited; the ring keeps the final lines
+        available after the process is gone, which is when they matter.
+        """
+        stream = worker.proc.stderr
+        if stream is None:
+            return
+        try:
+            for raw in iter(stream.readline, b""):
+                line = raw.decode("utf-8", errors="replace").rstrip("\n")
+                worker.stderr_tail.append(line)
+                try:
+                    print(line, file=sys.stderr)
+                except Exception:
+                    pass  # interpreter shutdown; keep the ring anyway
+        except Exception:
+            pass
+        try:
+            stream.close()
+        except Exception:
+            pass
+
+    @staticmethod
+    def _stderr_tail(worker: _Worker) -> str:
+        """Render a worker's retained stderr tail for failure messages."""
+        if worker.stderr_thread is not None:
+            # The pipe usually drains within moments of death; give it
+            # a beat so the tail includes the worker's last words.
+            worker.stderr_thread.join(timeout=0.2)
+        lines = list(worker.stderr_tail)
+        if not lines:
+            return ""
+        return ("worker stderr tail:\n  "
+                + "\n  ".join(lines))
 
     # -- work --------------------------------------------------------------
 
@@ -146,9 +213,12 @@ class WorkerFleetBackend(ExecutionBackend):
             write_frame(worker.proc.stdin, frame)
         except Exception as exc:
             worker.alive = False
+            tail = self._stderr_tail(worker)
             raise BackendUnavailable(
-                f"worker slot {worker.index} rejected work: {exc}")
+                f"worker slot {worker.index} rejected work: {exc}"
+                + (f"\n{tail}" if tail else ""))
         worker.task_id = task_id
+        worker.last_seen = time.monotonic()
 
     def _idle_worker(self) -> Optional[_Worker]:
         for worker in self._fleet:
@@ -160,10 +230,18 @@ class WorkerFleetBackend(ExecutionBackend):
         frames: List[Frame] = []
         block = any(worker.task_id is not None for worker in self._fleet
                     if worker.alive) or timeout is not None
+        # With heartbeats on, a blocking poll must wake often enough to
+        # notice a slot going silent even when no frames arrive at all
+        # (a partitioned worker sends nothing) — cap the wait at a
+        # fraction of the timeout budget.
+        if self._hb_timeout is not None and block:
+            quantum = min(max(self._hb_timeout / 4.0, 0.05), 1.0)
+            timeout = quantum if timeout is None else min(timeout, quantum)
         try:
             event = self._events.get(timeout=timeout) if block \
                 else self._events.get_nowait()
         except queue.Empty:
+            frames.extend(self._check_heartbeats())
             return frames
         while True:
             frame = self._handle_event(*event)
@@ -172,7 +250,46 @@ class WorkerFleetBackend(ExecutionBackend):
             try:
                 event = self._events.get_nowait()
             except queue.Empty:
+                frames.extend(self._check_heartbeats())
                 return frames
+
+    def _check_heartbeats(self) -> List[Frame]:
+        """Declare busy-but-silent slots lost after the heartbeat timeout.
+
+        The slot's process is killed outright: it is either dead
+        already, frozen, or partitioned from us, and its task is about
+        to be requeued — letting it linger risks a duplicate late
+        result after the task re-runs.  The kill's stream EOF surfaces
+        as a ``None`` event whose task id is already cleared, so death
+        is not double-reported.
+        """
+        if self._hb_timeout is None:
+            return []
+        frames: List[Frame] = []
+        now = time.monotonic()
+        for worker in self._fleet:
+            if not worker.alive or worker.task_id is None:
+                continue
+            silent = now - worker.last_seen
+            if silent < self._hb_timeout:
+                continue
+            task_id, worker.task_id = worker.task_id, None
+            worker.alive = False
+            try:
+                worker.proc.kill()
+            except Exception:
+                pass
+            if task_id in self._discarded:
+                self._discarded.discard(task_id)
+                continue
+            reason = (f"worker slot {worker.index} {HEARTBEAT_LOST}: "
+                      f"silent for {silent:.1f}s "
+                      f"(timeout {self._hb_timeout:.1f}s)")
+            tail = self._stderr_tail(worker)
+            if tail:
+                reason += "\n" + tail
+            frames.append(Frame(task_id, FRAME_LOST, reason))
+        return frames
 
     def _handle_event(self, worker: _Worker, message: Any
                       ) -> Optional[Frame]:
@@ -185,8 +302,11 @@ class WorkerFleetBackend(ExecutionBackend):
             if task_id is None or task_id in self._discarded:
                 self._discarded.discard(task_id)
                 return None
-            return Frame(task_id, FRAME_LOST,
-                         f"worker slot {worker.index} died mid-cell")
+            reason = f"worker slot {worker.index} died mid-cell"
+            tail = self._stderr_tail(worker)
+            if tail:
+                reason += "\n" + tail
+            return Frame(task_id, FRAME_LOST, reason)
         op = message.get("op") if isinstance(message, dict) else None
         if op == "hello":
             worker.ready = True
@@ -214,16 +334,54 @@ class WorkerFleetBackend(ExecutionBackend):
                 if worker.task_id is not None
                 and worker.task_id not in self._discarded]
 
-    def discard(self, task_id: int) -> None:
+    def discard(self, task_id: int, kill: bool = True) -> None:
         # The worker under a discarded (timed-out) task keeps crunching
         # until the next rebuild reclaims the slot; until then any late
-        # completion for the task is filtered out here.
+        # completion for the task is filtered out here.  With
+        # ``kill=False`` (a hedge race's losing copy) the slot stays
+        # healthy: its eventual result frame is filtered by the
+        # ``_discarded`` set and clears ``task_id``, freeing the slot
+        # with no rebuild at all.
         self._discarded.add(task_id)
+        if not kill:
+            return
         for worker in self._fleet:
             if worker.task_id == task_id:
                 worker.task_id = None
                 worker.alive = False  # slot unusable until rebuild
                 return
+
+    def _await_ready(self, timeout: float) -> None:
+        """Block until every slot's ``hello`` lands; fail fast otherwise.
+
+        Used by the SSH backend's ``start()`` so an unreachable host
+        surfaces as a clean :class:`BackendUnavailable` within the
+        connect timeout rather than a hang at first ``submit``.  Safe
+        only before work is submitted (events drained here can only be
+        hellos or deaths).
+        """
+        deadline = time.monotonic() + timeout
+        while not all(worker.ready for worker in self._fleet):
+            dead = next((w for w in self._fleet if not w.alive), None)
+            if dead is not None:
+                tail = self._stderr_tail(dead)
+                index = dead.index
+                self.close()
+                raise BackendUnavailable(
+                    f"worker slot {index} died before its hello"
+                    + (f"\n{tail}" if tail else ""))
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                pending = [w.index for w in self._fleet if not w.ready]
+                self.close()
+                raise BackendUnavailable(
+                    f"worker slot(s) {pending} not ready within "
+                    f"{timeout:.0f}s")
+            try:
+                event = self._events.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            self._handle_event(*event)
 
     def rebuild(self) -> List[int]:
         dropped = self.in_flight()
@@ -274,5 +432,14 @@ class WorkerFleetBackend(ExecutionBackend):
         try:
             if proc.stdout is not None:
                 proc.stdout.close()
+        except Exception:
+            pass
+        if worker.stderr_thread is not None:
+            # Let the drain thread finish the pipe (it closes it on
+            # EOF); fall back to closing it ourselves if it is stuck.
+            worker.stderr_thread.join(timeout=_CLOSE_GRACE_S)
+        try:
+            if proc.stderr is not None:
+                proc.stderr.close()
         except Exception:
             pass

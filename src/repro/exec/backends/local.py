@@ -77,10 +77,14 @@ class LocalPoolBackend(ExecutionBackend):
     def in_flight(self) -> List[int]:
         return list(self._futures.values())
 
-    def discard(self, task_id: int) -> None:
+    def discard(self, task_id: int, kill: bool = True) -> None:
+        # Dropping the future from the map filters any late completion;
+        # the pool reclaims the slot when the function returns either
+        # way, so hard and soft discards coincide here.
         for future, tid in list(self._futures.items()):
             if tid == task_id:
-                future.cancel()
+                if kill:
+                    future.cancel()
                 del self._futures[future]
                 return
 

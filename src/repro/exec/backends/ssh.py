@@ -15,7 +15,13 @@ gives hostA four slots, hostB two, hostC one.  Knobs:
   or exported via a remote ``PYTHONPATH``).
 * ``REPRO_SSH_COMMAND`` — the ssh client argv prefix (default
   ``ssh -o BatchMode=yes``); tests substitute a local command here to
-  exercise the tunnel without an sshd.
+  exercise the tunnel without an sshd.  An explicit prefix owns the
+  whole client configuration — no extra options are appended to it.
+* ``REPRO_SSH_CONNECT_TIMEOUT`` — seconds before an unreachable host
+  fails (default 10): applied as ``-o ConnectTimeout=…`` on the
+  default client command, and as the deadline for the worker ``hello``
+  handshake that ``start()`` now enforces, so a dead host is a clean
+  ``BackendUnavailable`` at startup instead of a hang at first submit.
 """
 
 from __future__ import annotations
@@ -24,11 +30,17 @@ import os
 import shlex
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec import health
 from repro.exec.backends.fleet import WorkerFleetBackend
 from repro.exec.faults import ConfigError
 
 DEFAULT_REMOTE_PYTHON = "python3"
 DEFAULT_SSH_COMMAND = ("ssh", "-o", "BatchMode=yes")
+
+#: Slack added to the connect timeout before the hello handshake is
+#: declared failed — covers remote interpreter startup and module
+#: import on a reachable host.
+_READY_GRACE_S = 20.0
 
 
 def parse_worker_spec(spec: str) -> List[Tuple[str, int]]:
@@ -72,13 +84,26 @@ class SSHBackend(WorkerFleetBackend):
                  ssh_command: Optional[Sequence[str]] = None) -> None:
         python = python or os.environ.get(
             "REPRO_REMOTE_PYTHON") or DEFAULT_REMOTE_PYTHON
+        self._connect_timeout = health.ssh_connect_timeout()
         if ssh_command is None:
             override = os.environ.get("REPRO_SSH_COMMAND")
-            ssh_command = (shlex.split(override) if override
-                           else list(DEFAULT_SSH_COMMAND))
+            if override:
+                ssh_command = shlex.split(override)
+            else:
+                ssh_command = list(DEFAULT_SSH_COMMAND)
+                if self._connect_timeout is not None:
+                    ssh_command += [
+                        "-o",
+                        f"ConnectTimeout={int(self._connect_timeout)}"]
         commands = []
         for host, slots in hosts:
             command = list(ssh_command) + [host, python,
                                            "-m", "repro.exec.worker"]
             commands.extend([command] * slots)
         super().__init__(commands, env=env)
+
+    def start(self) -> None:
+        starting = not self._fleet
+        super().start()
+        if starting and self._connect_timeout is not None:
+            self._await_ready(self._connect_timeout + _READY_GRACE_S)

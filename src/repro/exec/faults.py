@@ -19,6 +19,8 @@ The fault-tolerance layer needs two things this module provides:
     spec    := clause (';' clause)*
     clause  := kind (':' option (',' option)*)?
     kind    := 'raise' | 'crash' | 'hang' | 'corrupt'
+             | 'frame-drop' | 'frame-trunc' | 'frame-delay' | 'frame-dup'
+             | 'hb-loss' | 'shared-fail'
     option  := 'every=N' | 'phase=K' | 'times=T' | 'seconds=S'
              | 'key=HEXPREFIX'
 
@@ -44,12 +46,38 @@ Kinds:
   kind-matching but undecodable payload (exercises the
   "corruption is a miss" re-execution path).
 
+Network-chaos kinds (DESIGN.md §16) simulate partitions and flaky
+infrastructure rather than cell bugs:
+
+* ``frame-drop`` — the worker silently discards the cell's result
+  frame (a partition after compute: recovery needs heartbeats or the
+  cell watchdog);
+* ``frame-trunc`` — the worker writes a truncated result frame and
+  dies (a torn write mid-stream: the parent sees ``FrameTruncated``
+  and declares the slot lost);
+* ``frame-delay`` — the worker sleeps ``seconds`` *after* running the
+  cell, before writing the result (a slow link, distinct from ``hang``
+  which stalls before compute);
+* ``frame-dup`` — the worker writes the result frame twice (a
+  retransmit; the parent must ignore the duplicate);
+* ``hb-loss`` — the worker suppresses heartbeat frames for the
+  selected cell while still computing (a one-way partition: the
+  parent's heartbeat timeout must fire even though the cell would
+  eventually finish);
+* ``shared-fail`` — shared-tier store operations raise ``OSError``
+  (a dead NFS mount: drives the circuit breaker).  Selection is
+  per *operation*, not per cell: ``times`` bounds how many shared ops
+  fail (default unlimited for this kind), ``key=`` restricts to
+  matching cache keys.
+
 Examples::
 
     REPRO_FAULT_INJECT="raise:every=5"            # ~20% of cells fail once
     REPRO_FAULT_INJECT="crash:key=3fa2"           # kill the worker on one cell
     REPRO_FAULT_INJECT="hang:key=3fa2,seconds=30" # one straggler
     REPRO_FAULT_INJECT="raise:every=7;corrupt:every=11"
+    REPRO_FAULT_INJECT="frame-drop:every=6;hb-loss:every=4"
+    REPRO_FAULT_INJECT="shared-fail"              # dead shared tier
 """
 
 from __future__ import annotations
@@ -70,7 +98,12 @@ CRASH_EXIT_CODE = 13
 #: ``decode``.
 CORRUPT_RESULT = "__repro-fault-corrupt__"
 
-FAULT_KINDS = ("raise", "crash", "hang", "corrupt")
+FAULT_KINDS = ("raise", "crash", "hang", "corrupt",
+               "frame-drop", "frame-trunc", "frame-delay", "frame-dup",
+               "hb-loss", "shared-fail")
+
+#: Kinds that mangle the worker→parent result frame.
+FRAME_KINDS = ("frame-drop", "frame-trunc", "frame-delay", "frame-dup")
 
 
 class ConfigError(ValueError):
@@ -209,12 +242,16 @@ def parse_fault_spec(spec: str) -> Tuple[FaultRule, ...]:
                         f"REPRO_FAULT_INJECT: malformed option {option!r} "
                         f"in {clause!r} (expected name=value)")
                 options[name.strip().lower()] = value.strip()
+        # ``times`` for shared-fail counts failing *operations*, and a
+        # dead mount fails every op — so its default is unlimited (0),
+        # where cell-scoped kinds default to a single faulted attempt.
+        default_times = 0 if kind == "shared-fail" else 1
         try:
             rule = FaultRule(
                 kind=kind,
                 every=int(options.pop("every", 1)),
                 phase=int(options.pop("phase", 0)),
-                times=int(options.pop("times", 1)),
+                times=int(options.pop("times", default_times)),
                 seconds=float(options.pop("seconds", 3600.0)),
                 key=options.pop("key", ""),
             )
@@ -243,10 +280,12 @@ class FaultPlan:
         """Worker-side hook, called just before a cell executes.
 
         May raise :class:`InjectedFault`, kill the process, or sleep.
-        ``corrupt`` rules are parent-side and never fire here.
+        Only the execution kinds act here: ``corrupt`` is parent-side,
+        and the chaos kinds have their own hooks below.
         """
         for rule in self.rules:
-            if rule.kind == "corrupt" or not rule.selects(key, attempt):
+            if (rule.kind not in ("raise", "crash", "hang")
+                    or not rule.selects(key, attempt)):
                 continue
             if rule.kind == "hang":
                 time.sleep(rule.seconds)
@@ -262,8 +301,67 @@ class FaultPlan:
         return any(rule.kind == "corrupt" and rule.selects(key, attempt)
                    for rule in self.rules)
 
+    def frame_action(self, key: str, attempt: int) -> Optional[FaultRule]:
+        """Worker-side hook: how to mangle this cell's result frame.
+
+        Returns the first matching ``frame-*`` rule (``rule.kind``
+        names the action, ``rule.seconds`` the delay for
+        ``frame-delay``), or ``None`` to write the frame normally.
+        """
+        for rule in self.rules:
+            if rule.kind in FRAME_KINDS and rule.selects(key, attempt):
+                return rule
+        return None
+
+    def suppresses_heartbeat(self, key: str, attempt: int) -> bool:
+        """Worker-side hook: silence heartbeats while this cell runs?"""
+        return any(rule.kind == "hb-loss" and rule.selects(key, attempt)
+                   for rule in self.rules)
+
+    def shared_fail(self, key: str = "") -> bool:
+        """Should this shared-tier store operation fail?
+
+        Unlike the cell-scoped hooks this charges a per-*operation*
+        budget: each call that answers True consumes one of the rule's
+        ``times`` (0 = unlimited).  ``key=`` restricts to matching
+        cache keys (blob ops pass their logical name).
+        """
+        for rule in self.rules:
+            if rule.kind != "shared-fail":
+                continue
+            if rule.key and not key.startswith(rule.key):
+                continue
+            spent = _SHARED_FAIL_SPENT.get(id(rule), 0)
+            if rule.times and spent >= rule.times:
+                continue
+            _SHARED_FAIL_SPENT[id(rule)] = spent + 1
+            return True
+        return False
+
 
 _PLANS: Dict[str, FaultPlan] = {}
+
+#: shared-fail operations already charged, keyed by rule identity.
+#: Plans are cached per spec string, so rule identity is stable for
+#: the lifetime of a spec; tests switching specs get fresh budgets.
+_SHARED_FAIL_SPENT: Dict[int, int] = {}
+
+
+def reset_injection_state() -> None:
+    """Forget charged shared-fail budgets (test isolation hook)."""
+    _SHARED_FAIL_SPENT.clear()
+
+
+def shared_tier_fault(key: str = "") -> None:
+    """Raise ``OSError`` when an active ``shared-fail`` rule fires.
+
+    The tiered store calls this before every shared-tier operation;
+    with no active plan (the overwhelmingly common case) it is one
+    ``os.environ`` lookup.
+    """
+    plan = active_plan()
+    if plan is not None and plan.shared_fail(key):
+        raise OSError("injected shared-tier fault (REPRO_FAULT_INJECT)")
 
 
 def active_plan() -> Optional[FaultPlan]:

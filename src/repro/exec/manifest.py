@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.exec.cachekey import stable_hash
+from repro.exec.health import manifest_fsync
 
 #: Subdirectory of the result-store root holding run manifests.
 MANIFEST_DIR = "runs"
@@ -46,7 +47,12 @@ MANIFEST_SCHEMA = 1
 #: They are stripped from the command before hashing the run id, so
 #: resuming with different execution settings (``resume --jobs 8
 #: --backend fleet``) reopens the same manifest and completion log.
-EXEC_FLAGS = ("--jobs", "--backend", "--workers", "--shared-store")
+EXEC_FLAGS = ("--jobs", "--backend", "--workers", "--shared-store",
+              "--hedge")
+
+#: Statuses a ``.done`` log line may carry; anything else on a line is
+#: treated as corruption and skipped on replay.
+_VALID_STATUSES = ("done", "failed")
 
 
 def strip_exec_flags(command: Sequence[str]) -> List[str]:
@@ -80,6 +86,10 @@ class RunManifest:
     # worker spec, job count) — informational, never part of the run
     # id, so a resume with different settings updates it in place.
     exec_info: Dict[str, str] = field(default_factory=dict)
+    # True when the ``.done`` log ended mid-line (a torn write from a
+    # crash or power loss): the torn tail was skipped on replay and
+    # the next append starts on a fresh line.
+    _tail_torn: bool = field(default=False, repr=False)
 
     @property
     def path(self) -> Path:
@@ -153,26 +163,54 @@ class RunManifest:
         return _read_manifest(root / f"{run_id}.json")
 
     def _load_statuses(self) -> None:
+        """Replay the ``.done`` log, tolerating a torn final write.
+
+        A crash (or power loss without :data:`REPRO_MANIFEST_FSYNC`)
+        can leave the log's last line truncated mid-record.  Such a
+        tail must not wedge a resume: it is skipped — the cell it
+        described simply counts as pending and re-executes — and the
+        next :meth:`mark` starts on a fresh line.  Unknown statuses
+        and keys outside this run are skipped the same way, so a
+        corrupted byte range costs at most its own records.
+        """
         self.statuses = {}
+        self._tail_torn = False
         try:
-            with open(self.done_path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    status, _, key = line.strip().partition(" ")
-                    if key in self.cells:
-                        self.statuses[key] = status
+            with open(self.done_path, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                content = handle.read()
         except OSError:
-            pass
+            return
+        if not content:
+            return
+        lines = content.split("\n")
+        if lines[-1] == "":
+            lines.pop()  # well-formed log: trailing newline
+        else:
+            lines.pop()  # torn tail: the final record never finished
+            self._tail_torn = True
+        for line in lines:
+            status, _, key = line.strip().partition(" ")
+            if status in _VALID_STATUSES and key in self.cells:
+                self.statuses[key] = status
 
     def mark(self, key: str, status: str) -> None:
         """Append a status transition for ``key`` (idempotent)."""
         if self.statuses.get(key) == status:
             return
         self.statuses[key] = status
+        # A detected torn tail is terminated first so this record
+        # starts on its own line instead of extending the partial one.
+        prefix = "\n" if self._tail_torn else ""
         try:
             with open(self.done_path, "a", encoding="utf-8") as handle:
-                handle.write(f"{status} {key}\n")
+                handle.write(f"{prefix}{status} {key}\n")
+                if manifest_fsync():
+                    handle.flush()
+                    os.fsync(handle.fileno())
         except OSError:
-            pass
+            return
+        self._tail_torn = False
 
     def completed(self) -> Set[str]:
         return {key for key, status in self.statuses.items()

@@ -12,8 +12,12 @@ Messages are plain dicts with an ``op`` field; the interesting ops are
   ``run`` (``id`` plus a *nested* pickle of the execution request), and
   ``shutdown``;
 * worker -> parent: ``hello`` (pid + protocol version, sent once on
-  startup), ``result`` (``id`` + the execution payload), and ``error``
-  (``id`` + structured exception fields).
+  startup), ``result`` (``id`` + the execution payload), ``error``
+  (``id`` + structured exception fields), and ``heartbeat`` (``id`` of
+  the running task, emitted every ``REPRO_HEARTBEAT`` seconds while a
+  cell executes so the parent can tell a long cell from a dead slot;
+  receivers that predate it ignore unknown ops, so it needs no
+  protocol-version bump).
 
 The ``run`` request rides as nested bytes deliberately: the envelope
 unpickles with builtins only, so a cell class the worker cannot import

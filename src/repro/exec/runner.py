@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import statistics
 import sys
 import time
 from collections import deque
@@ -72,6 +73,8 @@ from repro.exec.backends import (
     resolve_slots,
     resolve_workers_spec,
 )
+from repro.exec.backends.fleet import HEARTBEAT_LOST
+from repro.exec.health import resolve_hedge
 from repro.exec.faults import (
     CellExecutionError,
     CellFailure,
@@ -775,6 +778,9 @@ class _DriveStats:
     timeouts: int = 0
     requeued: int = 0
     rebuilds: int = 0
+    hedges: int = 0      # duplicate submissions launched for stragglers
+    hedge_wins: int = 0  # races where the duplicate finished first
+    hb_lost: int = 0     # workers declared lost by the heartbeat timeout
     abort: Optional[CellFailure] = None  # set in on_error="raise" mode
 
 
@@ -812,7 +818,8 @@ class ParallelRunner:
                  command: Optional[Sequence[str]] = None,
                  backend: Optional[str] = None,
                  workers: Optional[str] = None,
-                 shared_store: str = "") -> None:
+                 shared_store: str = "",
+                 hedge: Optional[float] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         # Execution backend: which transport runs cache misses.  Fleet
         # and ssh backends size from --workers / REPRO_WORKERS; their
@@ -846,6 +853,12 @@ class ParallelRunner:
         self.retries = resolve_retries(retries)
         self.cell_timeout = resolve_cell_timeout(cell_timeout)
         self.retry_backoff = resolve_retry_backoff()
+        # Straggler hedging (--hedge / REPRO_HEDGE, off by default):
+        # when a running cell exceeds this multiple of the observed
+        # median cell duration and an idle slot exists, launch a
+        # duplicate — first completion wins, bit-identical either way
+        # (both copies share the cache key and its deterministic seed).
+        self.hedge = resolve_hedge(hedge)
         # CLI argv that launched this engine; recorded in run manifests
         # so `repro.cli resume` can re-drive an interrupted run.
         self.command: List[str] = list(command) if command else []
@@ -879,10 +892,12 @@ class ParallelRunner:
                      command: Optional[Sequence[str]] = None,
                      backend: Optional[str] = None,
                      workers: Optional[str] = None,
-                     shared_store: str = "") -> "ParallelRunner":
+                     shared_store: str = "",
+                     hedge: Optional[float] = None) -> "ParallelRunner":
         """Build from CLI-style options (``--jobs`` / ``--cache-dir`` /
         ``--on-error`` / ``--retries`` / ``--cell-timeout`` /
-        ``--backend`` / ``--workers`` / ``--shared-store``).
+        ``--backend`` / ``--workers`` / ``--shared-store`` /
+        ``--hedge``).
 
         An empty ``cache_dir`` defers to ``REPRO_CACHE_DIR``; the
         sentinel values ``off`` / ``none`` / ``0`` disable caching.
@@ -891,7 +906,7 @@ class ParallelRunner:
                    on_error=on_error, retries=retries,
                    cell_timeout=cell_timeout, command=command,
                    backend=backend, workers=workers,
-                   shared_store=shared_store)
+                   shared_store=shared_store, hedge=hedge)
 
     def run(self, cells: Sequence[Cell], label: str = "") -> List[Any]:
         """Resolve every cell (cache or compute); results in cell order.
@@ -1157,6 +1172,11 @@ class ParallelRunner:
             "exec/graph-prelude": report.graph_prelude,
             "exec/store-shared-hits": report.store_shared_hits,
             "exec/store-shared-fills": report.store_shared_fills,
+            "exec/hedges": report.hedges,
+            "exec/hedge-wins": report.hedge_wins,
+            "exec/heartbeat-lost": report.hb_lost,
+            "exec/store-breaker-trips": report.store_breaker_trips,
+            "exec/store-breaker-open": int(report.store_breaker_open),
         }
 
     def _write_events(self,
@@ -1430,6 +1450,12 @@ class ParallelRunner:
             backend=self.backend_name,
             store_shared_hits=shared_hits,
             store_shared_fills=shared_fills,
+            hedges=stats.hedges,
+            hedge_wins=stats.hedge_wins,
+            hb_lost=stats.hb_lost,
+            store_breaker_trips=(tier_now.get("breaker_trips", 0)
+                                 - tier_before.get("breaker_trips", 0)),
+            store_breaker_open=bool(tier_now.get("breaker_open", 0)),
         )
         return self.last_report
 
@@ -1493,6 +1519,25 @@ class ParallelRunner:
             return
         running: Dict[int, _Task] = {}
         next_id = 0
+        # Hedge-race state: completed-cell durations seed the straggler
+        # baseline; ``hedge_twin`` maps each racing copy to its partner
+        # (both directions) and ``hedge_copies`` marks which id is the
+        # duplicate.  A cell with a live twin can never fail the run —
+        # one copy's loss/error/timeout is absorbed while the other
+        # carries the cell.
+        durations: List[float] = []
+        hedge_twin: Dict[int, int] = {}
+        hedge_copies: set = set()
+        hedge_seed: Any = _MISS  # lazily computed cold-start baseline
+
+        def drop_twin_pairing(task_id: int) -> Optional[int]:
+            """Dissolve ``task_id``'s race; returns its live twin, if any."""
+            twin = hedge_twin.pop(task_id, None)
+            if twin is not None:
+                hedge_twin.pop(twin, None)
+            hedge_copies.discard(task_id)
+            return twin if twin in running else None
+
         try:
             while True:
                 need_rebuild = False
@@ -1536,9 +1581,32 @@ class ParallelRunner:
                             if task is None:
                                 continue
                             if frame.status == FRAME_OK:
+                                won_race = frame.task_id in hedge_copies
+                                twin = drop_twin_pairing(frame.task_id)
+                                if twin is not None:
+                                    # First completion wins; the losing
+                                    # copy is forgotten softly — its
+                                    # slot frees when it finishes.
+                                    running.pop(twin, None)
+                                    backend.discard(twin, kill=False)
+                                    if won_race:
+                                        stats.hedge_wins += 1
                                 result, seconds, delta, tele = frame.payload
+                                durations.append(seconds)
                                 settle(task, result, seconds, delta, tele)
                             elif frame.status == FRAME_LOST:
+                                reason = frame.payload
+                                if (isinstance(reason, str)
+                                        and HEARTBEAT_LOST in reason):
+                                    stats.hb_lost += 1
+                                if self.verbose:
+                                    print(f"repro.exec: {reason}",
+                                          file=sys.stderr)
+                                if drop_twin_pairing(frame.task_id) \
+                                        is not None:
+                                    # The surviving twin carries the
+                                    # cell; absorb this copy's loss.
+                                    continue
                                 # A worker died under this cell; bump
                                 # its attempt and requeue — exactly the
                                 # old BrokenProcessPool path.
@@ -1547,6 +1615,15 @@ class ParallelRunner:
                                 queue.append(task)
                                 need_rebuild = True
                             else:
+                                if drop_twin_pairing(frame.task_id) \
+                                        is not None:
+                                    # Twin still racing: swallow this
+                                    # copy's error.  Deterministic cells
+                                    # fail identically, so a real cell
+                                    # bug still surfaces through the
+                                    # twin; what this absorbs is
+                                    # attempt-scoped transients.
+                                    continue
                                 self._after_failure(task, frame.payload,
                                                     "error", queue, stats,
                                                     fail, split)
@@ -1559,6 +1636,10 @@ class ParallelRunner:
                             for task_id in expired:
                                 task = running.pop(task_id)
                                 backend.discard(task_id)
+                                if drop_twin_pairing(task_id) is not None:
+                                    # Not a run-level timeout: the twin
+                                    # is still inside its own deadline.
+                                    continue
                                 stats.timeouts += 1
                                 timeout_exc = TimeoutError(
                                     f"cell exceeded cell-timeout of "
@@ -1566,23 +1647,43 @@ class ParallelRunner:
                                 self._after_failure(task, timeout_exc,
                                                     "timeout", queue, stats,
                                                     fail, split)
-                            if expired:
-                                # The stragglers still occupy worker
-                                # slots; the only way to reclaim that
+                                # The straggler still occupies a worker
+                                # slot; the only way to reclaim that
                                 # capacity is a rebuild.
                                 need_rebuild = True
                                 bump_on_rebuild = False
+                        if (self.hedge is not None and not queue
+                                and running and len(running) < workers
+                                and stats.abort is None
+                                and not need_rebuild):
+                            if hedge_seed is _MISS:
+                                hedge_seed = self._hedge_seed(
+                                    running.values())
+                            baseline = (statistics.median(durations)
+                                        if durations else hedge_seed)
+                            if baseline:
+                                next_id = self._launch_hedges(
+                                    backend, running, next_id,
+                                    baseline * self.hedge, workers,
+                                    hedge_twin, hedge_copies, stats)
                 if need_rebuild:
                     # Tear every worker down and requeue unfinished
                     # cells — everything already settled stays settled
                     # (and stored), so a rebuild loses zero completed
-                    # results.
-                    for task in running.values():
+                    # results.  Of a hedge race caught mid-flight only
+                    # the original is requeued; the duplicate existed
+                    # purely to race it.
+                    for task_id, task in running.items():
+                        if (task_id in hedge_copies
+                                and hedge_twin.get(task_id) in running):
+                            continue
                         if bump_on_rebuild:
                             task.attempt += 1
                         stats.requeued += 1
                         queue.append(task)
                     running.clear()
+                    hedge_twin.clear()
+                    hedge_copies.clear()
                     stats.rebuilds += 1
                     recovered = False
                     if stats.rebuilds <= self.max_pool_rebuilds:
@@ -1625,11 +1726,100 @@ class ParallelRunner:
             stats.abort = failure
         fail(task, failure)
 
+    def _launch_hedges(self, backend: ExecutionBackend,
+                       running: Dict[int, _Task], next_id: int,
+                       deadline: float, workers: int,
+                       hedge_twin: Dict[int, int], hedge_copies: set,
+                       stats: _DriveStats) -> int:
+        """Duplicate stragglers onto idle slots; returns the next id.
+
+        A duplicate carries ``attempt + 1`` so attempt-scoped injected
+        faults (``times=1`` rules) do not refire on it — which is also
+        why a hedge can rescue a cell pinned under an injected hang.
+        Results cannot differ: cell seeding depends only on the cache
+        key, so the race is bit-identical by construction and first
+        completion wins.
+        """
+        now = time.monotonic()
+        for task_id, task in list(running.items()):
+            if len(running) >= workers:
+                break
+            if task_id in hedge_twin:
+                continue
+            if now - task.started < deadline:
+                continue
+            clone = _Task(task.cell, task.key, task.context,
+                          attempt=task.attempt + 1)
+            try:
+                backend.submit(next_id, self._request(clone))
+            except Exception:
+                break  # no healthy idle slot after all; try next poll
+            clone.started = time.monotonic()
+            running[next_id] = clone
+            hedge_twin[task_id] = next_id
+            hedge_twin[next_id] = task_id
+            hedge_copies.add(next_id)
+            stats.hedges += 1
+            if self.verbose:
+                print(f"repro.exec: hedging straggler "
+                      f"{task.cell.label()} after "
+                      f"{now - task.started:.2f}s", file=sys.stderr)
+            next_id += 1
+        return next_id
+
+    def _hedge_seed(self, tasks) -> Optional[float]:
+        """Cold-start hedge baseline from the §14 cost model.
+
+        With no completed cell yet, estimate a typical cell duration
+        as the modeled trace + stage-1 compute cost of the largest
+        in-flight cell, doubled for slack (modeled rates undershoot
+        wall time — they exclude stage-2 replay and artifact IO).
+        Returns ``None`` (no hedging until a real duration lands) when
+        no model or access counts are available.
+        """
+        try:
+            if self._cost_state is not None:
+                model = self._cost_state[0]
+            elif self.artifact_root is not None:
+                model = CostModel.load(
+                    make_store(self.artifact_root, self.shared_root))
+            else:
+                return None
+            estimates = [
+                model.compute_cost("trace", accesses)
+                + model.compute_cost("stage1", accesses)
+                for accesses in (self._cell_accesses(task.cell)
+                                 for task in tasks)
+                if accesses > 0]
+            if not estimates:
+                return None
+            return 2.0 * max(estimates)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _cell_accesses(cell: Cell) -> int:
+        """Access count a cell replays (0 when the shape is unknown)."""
+        trace = getattr(cell, "trace", None)
+        if trace is not None:
+            return int(getattr(trace, "accesses", 0) or 0)
+        suite = getattr(cell, "suite", None)
+        if suite is not None:
+            accesses = int(getattr(suite, "accesses", 0) or 0)
+            names = (getattr(cell, "benchmarks", None)
+                     or getattr(suite, "names", None) or ())
+            return accesses * max(1, len(names))
+        return 0
+
     def _poll_interval(self) -> Optional[float]:
         """Wait quantum for the parallel loop; None = block until done."""
-        if self.cell_timeout is None:
-            return None
-        return max(0.02, min(0.1, self.cell_timeout / 5.0))
+        if self.cell_timeout is not None:
+            return max(0.02, min(0.1, self.cell_timeout / 5.0))
+        if self.hedge is not None:
+            # Hedge triggers fire on wall time, not on frames — the
+            # loop must wake even when nothing completes.
+            return 0.05
+        return None
 
     def _backoff(self, attempt: int) -> None:
         delay = min(self.retry_backoff * (2 ** (attempt - 1)), 2.0)

@@ -29,15 +29,67 @@ from __future__ import annotations
 import os
 import pickle
 import sys
+import threading
+import time
 import traceback
 from typing import Any, BinaryIO, Dict
 
+from repro.exec import faults, health
 from repro.exec.protocol import (
+    MAGIC,
     PROTOCOL_VERSION,
     FrameError,
     read_frame,
     write_frame,
 )
+
+#: Serializes the outbound frame stream between the serve loop and the
+#: heartbeat thread.  ``write_frame`` issues one buffered write, but
+#: two concurrent writers could still interleave at the OS pipe layer.
+_WRITE_LOCK = threading.Lock()
+
+
+def _write_locked(writer: BinaryIO, message: Dict[str, Any]) -> None:
+    with _WRITE_LOCK:
+        write_frame(writer, message)
+
+
+class _Heartbeat:
+    """Emits ``heartbeat`` frames every ``interval`` s while a cell runs.
+
+    Started after a ``run`` request decodes, stopped before its result
+    (or error) frame is written.  The beat runs on a daemon thread so a
+    cell that wedges the interpreter's main thread — a hang, a stuck
+    syscall short of a full freeze — still announces liveness, while a
+    dead or partitioned process goes silent, which is exactly the
+    distinction the parent's heartbeat timeout draws.
+    """
+
+    def __init__(self, writer: BinaryIO, task_id: Any,
+                 interval: float) -> None:
+        self._writer = writer
+        self._task_id = task_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, name="repro-heartbeat", daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                _write_locked(self._writer, {"op": "heartbeat",
+                                             "id": self._task_id})
+            except Exception:
+                # Parent gone (broken pipe) or stream unusable; the
+                # serve loop will find out on its own next write.
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval + 1.0)
 
 
 def apply_env(env: Dict[str, Any]) -> None:
@@ -83,17 +135,57 @@ def _error_frame(task_id: Any, exc: BaseException) -> Dict[str, Any]:
     }
 
 
+def _write_truncated(writer: BinaryIO, message: Dict[str, Any]) -> None:
+    """``frame-trunc`` chaos: half a frame on the wire, then die.
+
+    Simulates a worker whose connection tears mid-write — the parent's
+    ``read_frame`` raises ``FrameTruncated`` and the slot is lost.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    header = MAGIC + len(payload).to_bytes(4, "little")
+    writer.write(header + payload[:max(1, len(payload) // 2)])
+    writer.flush()
+    os._exit(faults.CRASH_EXIT_CODE)
+
+
 def _handle_run(message: Dict[str, Any], writer: BinaryIO) -> None:
     task_id = message.get("id")
     try:
         request = pickle.loads(message["task"])
-        payload = execute_request(request)
     except Exception as exc:
-        write_frame(writer, _error_frame(task_id, exc))
+        _write_locked(writer, _error_frame(task_id, exc))
         return
+    key = str(request.get("key", ""))
+    attempt = int(request.get("attempt", 1))
+    plan = faults.active_plan()
+    interval = health.heartbeat_interval()
+    beat = None
+    if interval is not None and not (
+            plan is not None and plan.suppresses_heartbeat(key, attempt)):
+        beat = _Heartbeat(writer, task_id, interval)
+        beat.start()
     try:
-        write_frame(writer, {"op": "result", "id": task_id,
-                             "payload": payload})
+        try:
+            payload = execute_request(request)
+        except Exception as exc:
+            _write_locked(writer, _error_frame(task_id, exc))
+            return
+    finally:
+        if beat is not None:
+            beat.stop()
+    reply = {"op": "result", "id": task_id, "payload": payload}
+    rule = plan.frame_action(key, attempt) if plan is not None else None
+    if rule is not None:
+        if rule.kind == "frame-drop":
+            return  # computed, never reported: a post-compute partition
+        if rule.kind == "frame-trunc":
+            _write_truncated(writer, reply)  # exits the process
+        if rule.kind == "frame-delay":
+            time.sleep(rule.seconds)
+    try:
+        _write_locked(writer, reply)
+        if rule is not None and rule.kind == "frame-dup":
+            _write_locked(writer, reply)
     except FrameError:
         raise
     except Exception as exc:
@@ -101,7 +193,7 @@ def _handle_run(message: Dict[str, Any], writer: BinaryIO) -> None:
         # structured failure rather than dying with a half-built frame
         # already on the wire... write_frame buffers the whole frame
         # before writing, so the stream is still clean here.
-        write_frame(writer, _error_frame(task_id, exc))
+        _write_locked(writer, _error_frame(task_id, exc))
 
 
 def serve(reader: BinaryIO, writer: BinaryIO) -> int:

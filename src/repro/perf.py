@@ -110,7 +110,7 @@ from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
 from repro.traces.workloads import build_segments
 
-REPORT_SCHEMA = 6
+REPORT_SCHEMA = 7
 # Instrumentation with telemetry disabled may cost at most this
 # fraction of a Stage-2 replay (the obs layer's headline promise).
 TELEMETRY_DISABLED_BUDGET = 0.02
@@ -735,6 +735,15 @@ def bench_dist(scale: ReproScale, cache_root: str,
         timed_run("local")  # artifact-cache warmup, untimed
         local_s = min(timed_run("local") for _ in range(max(1, repeats)))
         fleet_s = min(timed_run("fleet") for _ in range(max(1, repeats)))
+        # Liveness arm: the same fleet run with worker heartbeats on
+        # (DESIGN.md §16).  Recorded, never gated — the headline
+        # FLEET_MAX_SLOWDOWN promise covers the *default* path, where
+        # heartbeats are off and cost exactly nothing; this arm tracks
+        # what turning them on adds (a per-interval frame write plus a
+        # bounded parent poll quantum).
+        with _env("REPRO_HEARTBEAT", "0.5"):
+            fleet_hb_s = min(timed_run("fleet")
+                             for _ in range(max(1, repeats)))
 
     dispatch = fleet_s - fleet_startup_s - local_s
     return {
@@ -745,6 +754,8 @@ def bench_dist(scale: ReproScale, cache_root: str,
         "fleet_startup_s": round(fleet_startup_s, 6),
         "local_s": round(local_s, 6),
         "fleet_s": round(fleet_s, 6),
+        "fleet_heartbeat_s": round(fleet_hb_s, 6),
+        "heartbeat_overhead_s": round(fleet_hb_s - fleet_s, 6),
         "dispatch_overhead_s": round(dispatch, 6),
         "per_cell_overhead_s": round(dispatch / cells, 6) if cells else 0.0,
     }

@@ -347,6 +347,177 @@ class TestWorkerFleetBackend:
         assert backend.in_flight() == []
 
 
+class TestWorkerHealth:
+    """Heartbeat liveness: hung or partitioned workers are declared
+    lost after ``REPRO_HEARTBEAT_TIMEOUT`` instead of waiting for the
+    cell watchdog; healthy-but-slow cells stay alive."""
+
+    def test_silent_busy_worker_declared_lost(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.1")
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT",
+            "hb-loss:every=1,times=99;hang:every=1,seconds=600,times=99")
+        backend = WorkerFleetBackend([worker_command()])
+        assert backend._hb_timeout == pytest.approx(0.5)
+        backend.start()
+        try:
+            started = time.monotonic()
+            backend.submit(3, _request(_cell()))
+            [frame] = _poll_until(backend, deadline_s=60.0)
+            elapsed = time.monotonic() - started
+            assert frame.task_id == 3
+            assert frame.status == FRAME_LOST
+            assert "heartbeat-lost" in frame.payload
+            # The 600s hang was cut down to the heartbeat timeout.
+            assert elapsed < 30.0
+            assert backend.in_flight() == []
+        finally:
+            backend.close()
+
+    def test_heartbeats_keep_slow_cell_alive(self, monkeypatch):
+        # The cell stalls for several heartbeat timeouts, but the
+        # worker's beat thread keeps the slot marked live: the result
+        # must arrive as a normal OK frame, never a false loss.
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.1")
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           "hang:every=1,seconds=2,times=99")
+        cell = _cell()
+        backend = WorkerFleetBackend([worker_command()])
+        backend.start()
+        try:
+            backend.submit(5, _request(cell))
+            [frame] = _poll_until(backend, deadline_s=60.0)
+            assert frame.task_id == 5
+            assert frame.status == FRAME_OK
+            result, _, _, _ = frame.payload
+            assert result == _serial_result(cell)
+        finally:
+            backend.close()
+
+    def test_heartbeats_off_cost_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        backend = WorkerFleetBackend([worker_command()])
+        assert backend._hb_timeout is None
+        assert backend._check_heartbeats() == []
+
+
+class TestDiscardSemantics:
+    def test_soft_discard_frees_slot_without_rebuild(self):
+        # A hedge race's losing copy: the slot finishes its (now
+        # unwanted) cell, the late frame is filtered, and the slot is
+        # immediately reusable — no kill, no rebuild.
+        backend = WorkerFleetBackend([worker_command()])
+        backend.start()
+        try:
+            backend.submit(1, _request(_cell()))
+            backend.discard(1, kill=False)
+            assert backend.in_flight() == []
+            worker = backend._fleet[0]
+            assert worker.alive
+            deadline = time.monotonic() + 60.0
+            while worker.task_id is not None:
+                assert time.monotonic() < deadline
+                assert backend.poll(timeout=0.2) == []
+            assert worker.alive  # the slot survived its loss
+            cell = _cell("soplex")
+            backend.submit(2, _request(cell))
+            [frame] = _poll_until(backend)
+            assert frame.task_id == 2
+            assert frame.status == FRAME_OK
+            result, _, _, _ = frame.payload
+            assert result == _serial_result(cell)
+        finally:
+            backend.close()
+
+    def test_hard_discard_retires_slot_until_rebuild(self):
+        backend = WorkerFleetBackend(
+            [worker_command()],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=1"})
+        backend.start()
+        try:
+            backend.submit(7, _request(_cell()))
+            backend.discard(7)  # kill=True: watchdog-style abandonment
+            assert backend.in_flight() == []
+            with pytest.raises(BackendUnavailable):
+                backend.submit(8, _request(_cell("soplex")))
+            # The discarded task was already abandoned, so the rebuild
+            # reports nothing to requeue — but restores capacity, and
+            # no late frame from the old generation ever surfaces.
+            assert backend.rebuild() == []
+            assert backend.poll(timeout=0.1) == []
+            request = _request(_cell())
+            request["attempt"] = 2  # the times=1 hang rule skips this
+            backend.submit(9, request)
+            [frame] = _poll_until(backend)
+            assert frame.task_id == 9
+            assert frame.status == FRAME_OK
+        finally:
+            backend.close()
+
+    def test_idle_worker_death_shrinks_capacity(self):
+        backend = WorkerFleetBackend(
+            [worker_command()] * 2,
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=99"})
+        backend.start()
+        try:
+            victim = backend._fleet[0]
+            victim.proc.kill()
+            deadline = time.monotonic() + 30.0
+            while victim.alive and time.monotonic() < deadline:
+                # An idle death produces no lost frame — no task was
+                # riding the slot — it only shrinks capacity.
+                assert backend.poll(timeout=0.2) == []
+            assert not victim.alive
+            backend.submit(1, _request(_cell()))
+            with pytest.raises(BackendUnavailable):
+                backend.submit(2, _request(_cell("soplex")))
+        finally:
+            backend.close()
+
+
+#: A worker that shouts on stderr before serving: exercises the
+#: stderr ring buffer that failure messages quote.
+_NOISY_WORKER = [
+    sys.executable, "-c",
+    "import sys, runpy; print('chaos-canary: mount gone', file=sys.stderr); "
+    "sys.stderr.flush(); sys.argv = sys.argv[:1]; "
+    "runpy.run_module('repro.exec.worker', run_name='__main__')",
+]
+
+
+class TestStderrTail:
+    def test_lost_frame_carries_stderr_tail(self):
+        backend = WorkerFleetBackend(
+            [_NOISY_WORKER],
+            env={"REPRO_FAULT_INJECT": "hang:every=1,seconds=600,times=99"})
+        backend.start()
+        try:
+            worker = backend._fleet[0]
+            # Wait for the worker to boot (hello) and the canary line
+            # to land in the ring before killing it mid-cell.
+            deadline = time.monotonic() + 60.0
+            while not (worker.ready and worker.stderr_tail):
+                assert time.monotonic() < deadline
+                backend.poll(timeout=0.1)
+            backend.submit(4, _request(_cell()))
+            worker.proc.kill()
+            [frame] = _poll_until(backend)
+            assert frame.status == FRAME_LOST
+            assert "worker stderr tail" in frame.payload
+            assert "chaos-canary: mount gone" in frame.payload
+        finally:
+            backend.close()
+
+    def test_tail_ring_is_bounded(self):
+        from repro.exec.backends.fleet import _STDERR_TAIL_LINES, _Worker
+
+        worker = _Worker(proc=None, index=0)
+        for index in range(_STDERR_TAIL_LINES * 3):
+            worker.stderr_tail.append(f"line {index}")
+        assert len(worker.stderr_tail) == _STDERR_TAIL_LINES
+        assert worker.stderr_tail[0] == f"line {_STDERR_TAIL_LINES * 2}"
+
+
 class TestLocalPoolBackend:
     def test_executes_cell_and_matches_serial(self):
         cell = _cell()
@@ -453,3 +624,35 @@ class TestSSHBackend:
             assert result == _serial_result(cell)
         finally:
             backend.close()
+
+    def test_default_command_carries_connect_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SSH_COMMAND", raising=False)
+        monkeypatch.delenv("REPRO_SSH_CONNECT_TIMEOUT", raising=False)
+        backend = SSHBackend([("hostA", 1)], python="python3")
+        assert "ConnectTimeout=10" in backend._commands[0]
+        monkeypatch.setenv("REPRO_SSH_CONNECT_TIMEOUT", "3")
+        backend = SSHBackend([("hostA", 1)], python="python3")
+        assert "ConnectTimeout=3" in backend._commands[0]
+
+    def test_connect_timeout_off_disables_fast_fail(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SSH_COMMAND", raising=False)
+        monkeypatch.setenv("REPRO_SSH_CONNECT_TIMEOUT", "off")
+        backend = SSHBackend([("hostA", 1)], python="python3")
+        assert backend._connect_timeout is None
+        assert not any("ConnectTimeout" in part
+                       for part in backend._commands[0])
+
+    def test_unreachable_host_fails_start_fast(self, monkeypatch):
+        # An ssh client that dies like a refused connection: start()
+        # must surface a clean BackendUnavailable within the connect
+        # timeout, not hang until the first submit.
+        monkeypatch.setenv("REPRO_SSH_CONNECT_TIMEOUT", "5")
+        backend = SSHBackend(
+            [("unreachable-host", 1)],
+            ssh_command=[sys.executable, "-c", "import sys; sys.exit(255)"])
+        started = time.monotonic()
+        with pytest.raises(BackendUnavailable) as excinfo:
+            backend.start()
+        assert time.monotonic() - started < 20.0
+        assert "before its hello" in str(excinfo.value)
+        assert backend._fleet == []  # cleanly torn down

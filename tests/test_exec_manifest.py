@@ -101,13 +101,58 @@ class TestRunManifest:
         assert list_runs(tmp_path) == []
 
 
+class TestTornDoneLog:
+    """A crash mid-append must never wedge replay of the ``.done`` log."""
+
+    def _create(self, tmp_path):
+        return RunManifest.create(tmp_path, label="t",
+                                  command=["compare"], cells=CELLS)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        manifest = self._create(tmp_path)
+        manifest.mark(CELLS[0][0], "done")
+        # Simulate a torn write: the second record lost its tail.
+        with open(manifest.done_path, "a", encoding="utf-8") as handle:
+            handle.write(f"done {CELLS[1][0][:20]}")
+        reopened = self._create(tmp_path)
+        assert reopened.completed() == {CELLS[0][0]}
+        assert reopened.pending() == {CELLS[1][0], CELLS[2][0]}
+
+    def test_mark_after_torn_tail_starts_a_fresh_line(self, tmp_path):
+        manifest = self._create(tmp_path)
+        manifest.mark(CELLS[0][0], "done")
+        with open(manifest.done_path, "a", encoding="utf-8") as handle:
+            handle.write("done ")  # record cut mid-write
+        reopened = self._create(tmp_path)
+        reopened.mark(CELLS[1][0], "done")
+        # The new record must not have fused with the torn fragment.
+        final = self._create(tmp_path)
+        assert final.completed() == {CELLS[0][0], CELLS[1][0]}
+        text = manifest.done_path.read_text(encoding="utf-8")
+        assert f"done \ndone {CELLS[1][0]}\n" in text
+
+    def test_garbage_status_lines_are_skipped(self, tmp_path):
+        manifest = self._create(tmp_path)
+        with open(manifest.done_path, "a", encoding="utf-8") as handle:
+            handle.write(f"d\x00ne {CELLS[0][0]}\n")
+            handle.write(f"done {CELLS[1][0]}\n")
+        reopened = self._create(tmp_path)
+        assert reopened.completed() == {CELLS[1][0]}
+
+    def test_fsync_knob_still_appends_records(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_FSYNC", "1")
+        manifest = self._create(tmp_path)
+        manifest.mark(CELLS[0][0], "done")
+        assert self._create(tmp_path).completed() == {CELLS[0][0]}
+
+
 class TestExecFlagStripping:
     def test_strips_space_and_equals_forms(self):
         from repro.exec.manifest import strip_exec_flags
 
         argv = ["compare", "--jobs", "4", "--backend=fleet",
                 "--workers", "2", "--shared-store=/mnt/s",
-                "--scale", "tiny"]
+                "--hedge", "2.0", "--scale", "tiny"]
         assert strip_exec_flags(argv) == ["compare", "--scale", "tiny"]
 
     def test_run_id_ignores_exec_flags(self, tmp_path):

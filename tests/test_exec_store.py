@@ -222,7 +222,8 @@ class TestTieredStore:
         assert store.get_bytes(key) == b"artifact"
         assert store.last_tier == "local"
         assert store.tier_counts() == {"local_hits": 1, "shared_hits": 1,
-                                       "shared_fills": 0}
+                                       "shared_fills": 0, "breaker_trips": 0,
+                                       "breaker_skips": 0, "breaker_open": 0}
 
     def test_both_tiers_missing_is_a_miss(self, tmp_path):
         store = self._tiered(tmp_path)
