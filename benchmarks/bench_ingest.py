@@ -1,0 +1,68 @@
+"""Streaming trace-decode throughput bench (repro.traces.ingest).
+
+Times a full streamed decode of one synthetic fixture per real-trace
+format — ChampSim-style binary, gzip'd plain text, and CSV — and holds
+every reader above the ``INGEST_MIN_RECORDS_PER_S`` floor the CI
+perf-smoke gate enforces.  The full harness (``bench_hotpath`` / the
+``perf`` CLI command) embeds the same section in its report; this
+standalone entry point exists for quick iteration on the readers.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf import INGEST_MIN_RECORDS_PER_S, bench_ingest
+
+
+def run_experiment(records: int = 50_000, repeats: int = 3):
+    return bench_ingest(repeats=repeats, records=records)
+
+
+def print_results(section) -> None:
+    print()
+    print("=" * 78)
+    print("Streamed trace-decode throughput (records/s, best-of-N)")
+    print("=" * 78)
+    for fmt in sorted(section["formats"]):
+        stats = section["formats"][fmt]
+        print(f"  {fmt:10s} {stats['records_per_s']:>12,.0f} rec/s   "
+              f"decode {stats['decode_s']:.4f}s   "
+              f"file {stats['file_bytes'] / 1024:.0f} KiB")
+    print(f"  floor      {INGEST_MIN_RECORDS_PER_S:>12,.0f} rec/s")
+
+
+def check(section):
+    return [
+        f"ingest: {fmt} decode "
+        f"{section['formats'][fmt]['records_per_s']:,.0f} records/s under "
+        f"the {INGEST_MIN_RECORDS_PER_S:,.0f} floor"
+        for fmt in sorted(section["formats"])
+        if section["formats"][fmt]["records_per_s"]
+        < INGEST_MIN_RECORDS_PER_S
+    ]
+
+
+def test_ingest_throughput(capsys):
+    section = run_experiment(records=20_000, repeats=2)
+    with capsys.disabled():
+        print_results(section)
+    assert check(section) == []
+
+
+def main(argv) -> int:
+    records = int(argv[0]) if argv else 50_000
+    section = run_experiment(records=records)
+    print_results(section)
+    failures = check(section)
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

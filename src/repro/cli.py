@@ -59,12 +59,92 @@ from repro.report import (
     weighted_speedup_summary,
 )
 from repro.search.evaluator import FeatureSetEvaluator
+from repro.traces.ingest import (
+    DEFAULT_CHUNK,
+    FORMATS,
+    IngestSpec,
+    parse_weights,
+    resolve_ingest,
+)
 from repro.traces.workloads import benchmark_names
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="",
                         help="tiny / small / paper (default: $REPRO_SCALE)")
+
+
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="ingest a real trace file as an extra workload "
+                             "(gzip transparent; default: $REPRO_TRACE_FILE)")
+    parser.add_argument("--trace-format", default=None, choices=FORMATS,
+                        help="trace format (default: $REPRO_TRACE_FORMAT, "
+                             "else inferred from the file name)")
+    parser.add_argument("--trace-name", default=None, metavar="NAME",
+                        help="workload name for the ingested trace "
+                             "(default: $REPRO_TRACE_NAME or the file stem)")
+    parser.add_argument("--trace-skip", type=int, default=None, metavar="N",
+                        help="records to skip before the measured window "
+                             "(default: $REPRO_TRACE_SKIP or 0)")
+    parser.add_argument("--trace-accesses", type=int, default=None,
+                        metavar="N",
+                        help="records per segment window (default: "
+                             "$REPRO_TRACE_ACCESSES or the --scale budget)")
+    parser.add_argument("--trace-segments", type=int, default=None,
+                        metavar="K",
+                        help="consecutive SimPoint-style segment windows "
+                             "(default: $REPRO_TRACE_SEGMENTS or 1)")
+    parser.add_argument("--trace-weights", default=None, metavar="W1,W2,...",
+                        help="per-segment weights (default: "
+                             "$REPRO_TRACE_WEIGHTS or equal)")
+
+
+def _int_env(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _resolve_trace(args: argparse.Namespace,
+                   default_accesses: int) -> Optional[IngestSpec]:
+    """Merge --trace-* flags with REPRO_TRACE_* knobs into a spec.
+
+    Resolution happens once, here: the content digest is computed (or
+    revalidated from its sidecar) before any cell is scheduled, so
+    workers — local, fleet, or ssh — receive a finished recipe and only
+    ever re-open the file to decode it.
+    """
+    path = getattr(args, "trace_file", None) \
+        or os.environ.get("REPRO_TRACE_FILE", "")
+    if not path:
+        return None
+    fmt = (getattr(args, "trace_format", None)
+           or os.environ.get("REPRO_TRACE_FORMAT", "") or None)
+    name = (getattr(args, "trace_name", None)
+            or os.environ.get("REPRO_TRACE_NAME", "") or None)
+    skip = getattr(args, "trace_skip", None)
+    if skip is None:
+        skip = _int_env("REPRO_TRACE_SKIP", 0)
+    accesses = getattr(args, "trace_accesses", None)
+    if accesses is None:
+        accesses = _int_env("REPRO_TRACE_ACCESSES", default_accesses)
+    segments = getattr(args, "trace_segments", None)
+    if segments is None:
+        segments = _int_env("REPRO_TRACE_SEGMENTS", 1)
+    weights_raw = (getattr(args, "trace_weights", None)
+                   or os.environ.get("REPRO_TRACE_WEIGHTS", ""))
+    weights = parse_weights(weights_raw) if weights_raw else ()
+    chunk = _int_env("REPRO_TRACE_CHUNK", DEFAULT_CHUNK)
+    return resolve_ingest(
+        path, fmt=fmt, name=name, skip=skip, accesses=accesses,
+        segments=segments, weights=weights, chunk=chunk,
+        reserved=benchmark_names(),
+    )
 
 
 def _add_exec(parser: argparse.ArgumentParser) -> None:
@@ -164,20 +244,36 @@ def _report_failures(engine: ParallelRunner) -> bool:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    names = args.benchmarks or ["soplex", "mcf", "lbm", "gamess"]
+    ingest = _resolve_trace(args, scale.segment_accesses)
+    if args.benchmarks:
+        names = list(args.benchmarks)
+    elif ingest is not None:
+        names = []  # --trace-file alone compares just the ingested workload
+    else:
+        names = ["soplex", "mcf", "lbm", "gamess"]
     unknown = set(names) - set(benchmark_names())
     if unknown:
         print(f"unknown benchmarks: {sorted(unknown)}", file=sys.stderr)
         return 2
+    if ingest is not None:
+        names.append(ingest.name)
     ordered = sorted(dict.fromkeys(names))
+
+    def _trace_spec(name: str) -> TraceSpec:
+        spec = TraceSpec(name, scale.hierarchy.llc_bytes,
+                         scale.segment_accesses)
+        if ingest is not None and name == ingest.name:
+            spec = TraceSpec(name, scale.hierarchy.llc_bytes,
+                             scale.segment_accesses, ingest=ingest)
+        return spec
+
     engine = _engine(args)
     results = {}
     failed = False
     for policy in args.policies:
         cells = [
             SingleCell(
-                trace=TraceSpec(name, scale.hierarchy.llc_bytes,
-                                scale.segment_accesses),
+                trace=_trace_spec(name),
                 policy=policy,
                 hierarchy=scale.hierarchy,
                 warmup_fraction=scale.warmup_fraction,
@@ -208,8 +304,12 @@ def cmd_roc(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     hierarchy = scale.hierarchy
     num_sets = hierarchy.llc_bytes // (hierarchy.llc_ways * 64)
-    segment = build_segments(args.benchmark, hierarchy.llc_bytes,
-                             scale.segment_accesses)[0]
+    ingest = _resolve_trace(args, scale.segment_accesses)
+    if ingest is not None:
+        segment = ingest.build()[0]
+    else:
+        segment = build_segments(args.benchmark, hierarchy.llc_bytes,
+                                 scale.segment_accesses)[0]
     upper = UpperLevels(hierarchy).run(segment.trace)
     predictors = {
         "sdbp": SDBPPredictor(num_sets),
@@ -231,9 +331,12 @@ def cmd_search(args: argparse.Namespace) -> int:
     from repro.search import hill_climb, random_search
 
     scale = get_scale(args.scale)
+    accesses = max(2_000, scale.segment_accesses // 4)
+    ingest = _resolve_trace(args, accesses)
     spec = SuiteSpec(
-        scale.hierarchy.llc_bytes, max(2_000, scale.segment_accesses // 4),
+        scale.hierarchy.llc_bytes, accesses,
         names=("soplex", "lbm", "gamess"),
+        ingest=() if ingest is None else (ingest,),
     )
     engine = _engine(args)
     evaluator = FeatureSetEvaluator.from_spec(
@@ -256,10 +359,15 @@ def cmd_search(args: argparse.Namespace) -> int:
 def cmd_mix(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     accesses = max(2_000, scale.segment_accesses // 3)
-    suite = build_suite(scale.hierarchy.llc_bytes, accesses)
-    segments = [s for name in sorted(suite) for s in suite[name]]
+    ingest = _resolve_trace(args, accesses)
+    suite_spec = SuiteSpec(scale.hierarchy.llc_bytes, accesses,
+                           ingest=() if ingest is None else (ingest,))
+    if ingest is None:
+        suite = build_suite(scale.hierarchy.llc_bytes, accesses)
+        segments = [s for name in sorted(suite) for s in suite[name]]
+    else:
+        segments = suite_spec.build()
     mixes = generate_mixes(segments, args.mixes)
-    suite_spec = SuiteSpec(scale.hierarchy.llc_bytes, accesses)
     engine = _engine(args)
     results = {}
     failed = False
@@ -646,7 +754,12 @@ def build_parser() -> argparse.ArgumentParser:
                "batching, REPRO_STAGE3_VECTOR=off disables vectorized "
                "timing, REPRO_GRAPH=off disables the cost-aware "
                "experiment-graph scheduler.  --stage2-kernel and --graph "
-               "override their knobs for one invocation.",
+               "override their knobs for one invocation.  Real traces: "
+               "--trace-file/--trace-format (or REPRO_TRACE_FILE, "
+               "REPRO_TRACE_FORMAT, REPRO_TRACE_NAME, REPRO_TRACE_SKIP, "
+               "REPRO_TRACE_ACCESSES, REPRO_TRACE_SEGMENTS, "
+               "REPRO_TRACE_WEIGHTS, REPRO_TRACE_CHUNK) ingest a "
+               "ChampSim-style binary, text, or CSV trace as a workload.",
     )
     parser.add_argument(
         "--stage2-kernel", default=None,
@@ -666,6 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default=["lru", "mpppb-1a", "min"],
                          choices=policy_names(), metavar="POLICY")
     _add_scale(compare)
+    _add_trace(compare)
     _add_exec(compare)
     compare.set_defaults(func=cmd_compare)
 
@@ -673,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
     roc.add_argument("--benchmark", default="sphinx3",
                      choices=benchmark_names())
     _add_scale(roc)
+    _add_trace(roc)
     roc.set_defaults(func=cmd_roc)
 
     search = sub.add_parser("search", help="feature search (Section 5)")
@@ -684,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: whole generation; "
                              "REPRO_STAGE2_BATCH=off disables batching)")
     _add_scale(search)
+    _add_trace(search)
     _add_exec(search)
     search.set_defaults(func=cmd_search)
 
@@ -693,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default=["lru", "mpppb-mp"],
                      choices=policy_names(), metavar="POLICY")
     _add_scale(mix)
+    _add_trace(mix)
     _add_exec(mix)
     mix.set_defaults(func=cmd_mix)
 

@@ -119,6 +119,16 @@ def scope_payload(llc_bytes: int, accesses: int, seed: int) -> Dict[str, int]:
     return {"llc_bytes": llc_bytes, "accesses": accesses, "seed": seed}
 
 
+def ingest_scope(ingest_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stage-1 scope for an *ingested* workload's segments.
+
+    Real-trace content is fixed by (digest, window) alone — the
+    synthetic generation scope's LLC sizing and seed play no part —
+    so keying on the ingest payload maximizes Stage-1 sharing across
+    differently-sized runs over the same trace file."""
+    return {"ingest": ingest_payload}
+
+
 def trace_key(trace_payload: Dict[str, Any]) -> str:
     return stable_hash({
         "schema": SCHEMA_VERSION,
@@ -393,8 +403,11 @@ class ArtifactCache:
 
     def stage1_store(self, scope: Dict[str, Any],
                      hierarchy: HierarchyConfig,
-                     prefetch: bool) -> "Stage1ArtifactStore":
-        return Stage1ArtifactStore(self, scope, hierarchy, prefetch)
+                     prefetch: bool,
+                     scope_overrides: Optional[Dict[str, Dict[str, Any]]]
+                     = None) -> "Stage1ArtifactStore":
+        return Stage1ArtifactStore(self, scope, hierarchy, prefetch,
+                                   scope_overrides)
 
 
 class Stage1ArtifactStore:
@@ -405,19 +418,34 @@ class Stage1ArtifactStore:
     before running Stage 1 and call ``save`` after computing it; their
     own in-memory memoization still sits in front, so within one runner
     each segment is (de)serialized at most once.
+
+    ``scope_overrides`` maps a *workload name* (the part of a segment
+    name before the first dot) to a replacement scope — how a mixed
+    suite keys its synthetic segments by generation scope and its
+    ingested segments by content digest in one store.
     """
 
     def __init__(self, cache: ArtifactCache, scope: Dict[str, Any],
-                 hierarchy: HierarchyConfig, prefetch: bool) -> None:
+                 hierarchy: HierarchyConfig, prefetch: bool,
+                 scope_overrides: Optional[Dict[str, Dict[str, Any]]]
+                 = None) -> None:
         self.cache = cache
         self.scope = scope
+        self.scope_overrides = scope_overrides or {}
         self.hierarchy_payload = dataclasses.asdict(hierarchy)
         self.prefetch = prefetch
 
+    def _scope_for(self, segment_name: str) -> Dict[str, Any]:
+        if not self.scope_overrides:
+            return self.scope
+        workload = segment_name.split(".", 1)[0]
+        return self.scope_overrides.get(workload, self.scope)
+
     def load(self, segment: Segment) -> Optional[UpperLevelResult]:
-        return self.cache.load_upper(self.scope, segment.name,
+        return self.cache.load_upper(self._scope_for(segment.name),
+                                     segment.name,
                                      self.hierarchy_payload, self.prefetch)
 
     def save(self, segment: Segment, upper: UpperLevelResult) -> None:
-        self.cache.store_upper(self.scope, segment.name,
+        self.cache.store_upper(self._scope_for(segment.name), segment.name,
                                self.hierarchy_payload, self.prefetch, upper)

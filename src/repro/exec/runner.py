@@ -38,6 +38,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     ClassVar,
@@ -49,6 +50,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.traces
+    from repro.traces.ingest.spec import IngestSpec
 
 from repro.core.features import Feature
 from repro.core.mpppb import MPPPBConfig
@@ -62,7 +66,7 @@ from repro.exec.cachekey import (
     task_seed,
     timing_payload,
 )
-from repro.exec.artifacts import ArtifactCache, scope_payload
+from repro.exec.artifacts import ArtifactCache, ingest_scope, scope_payload
 from repro.exec.backends import (
     FRAME_LOST,
     FRAME_OK,
@@ -108,7 +112,7 @@ from repro.sim.multi import MixResult, MultiProgrammedRunner
 from repro.sim.single import BenchmarkResult, SingleThreadRunner
 from repro.traces.mixes import Mix
 from repro.traces.trace import Segment
-from repro.traces.workloads import all_segments, benchmark_names, build_segments
+from repro.traces.workloads import benchmark_names, build_segments
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -216,14 +220,27 @@ def _verbose_default() -> bool:
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """Deterministic recipe for one benchmark's weighted segments."""
+    """Deterministic recipe for one workload's weighted segments.
+
+    Synthetic benchmarks are generated from (benchmark, LLC sizing,
+    access budget, seed).  When ``ingest`` is set the workload is a
+    real trace file instead: the segments come from the streamed decode
+    window and every key derives from the file's content digest — the
+    synthesis fields are ignored.
+    """
 
     benchmark: str
     llc_bytes: int
     accesses: int
     seed: int = 2017
+    ingest: Optional[IngestSpec] = None
 
     def payload(self) -> Dict[str, Any]:
+        if self.ingest is not None:
+            return {
+                "benchmark": self.benchmark,
+                "ingest": self.ingest.payload(),
+            }
         return {
             "benchmark": self.benchmark,
             "llc_bytes": self.llc_bytes,
@@ -231,41 +248,96 @@ class TraceSpec:
             "seed": self.seed,
         }
 
-    def scope(self) -> Tuple[int, int, int]:
+    def scope(self) -> Tuple:
         """Key for runner reuse: specs differing only by benchmark may
         safely share a runner's per-segment caches (segment names embed
         the benchmark name)."""
+        if self.ingest is not None:
+            return (self.llc_bytes, self.accesses, self.seed,
+                    ["ingest", self.ingest.digest, self.ingest.format,
+                     self.ingest.skip, self.ingest.accesses,
+                     self.ingest.segments, list(self.ingest.weights)])
         return (self.llc_bytes, self.accesses, self.seed)
 
+    def stage1_scope(self) -> Dict[str, Any]:
+        """Stage-1 artifact scope for this workload's segments."""
+        if self.ingest is not None:
+            return ingest_scope(self.ingest.payload())
+        return scope_payload(self.llc_bytes, self.accesses, self.seed)
+
+    def segment_names(self) -> List[str]:
+        """Static segment names (no trace build) for the graph planner."""
+        if self.ingest is not None:
+            return self.ingest.segment_names()
+        from repro.traces.workloads import segment_names
+        return segment_names(self.benchmark)
+
     def build(self) -> List[Segment]:
+        if self.ingest is not None:
+            return self.ingest.build()
         return build_segments(self.benchmark, self.llc_bytes, self.accesses,
                               self.seed)
 
 
 @dataclass(frozen=True)
 class SuiteSpec:
-    """Deterministic recipe for a multi-benchmark segment pool."""
+    """Deterministic recipe for a multi-benchmark segment pool.
+
+    ``ingest`` entries merge real-trace workloads into the pool: the
+    suite iterates all workloads — synthetic names and ingested names
+    together — in one sorted order, exactly as :func:`~repro.traces.
+    workloads.all_segments` sorts the synthetic suite.
+    """
 
     llc_bytes: int
     accesses: int
     seed: int = 2017
     names: Tuple[str, ...] = ()
+    ingest: Tuple[IngestSpec, ...] = ()
 
     def payload(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "llc_bytes": self.llc_bytes,
             "accesses": self.accesses,
             "seed": self.seed,
             "names": sorted(self.names),
         }
+        # Only keyed when present, so ingest-free recipes keep their
+        # pinned hashes from before ingestion existed.
+        if self.ingest:
+            payload["ingest"] = [
+                spec.payload() for spec in
+                sorted(self.ingest, key=lambda spec: spec.name)
+            ]
+        return payload
+
+    def workloads(self) -> List[str]:
+        """Sorted names of every workload in the pool (synthetic and
+        ingested), the order ``build`` emits segments in."""
+        names = list(self.names) if self.names else list(benchmark_names())
+        names.extend(spec.name for spec in self.ingest)
+        return sorted(names)
 
     def trace_spec(self, benchmark: str) -> TraceSpec:
+        for spec in self.ingest:
+            if spec.name == benchmark:
+                return TraceSpec(benchmark, self.llc_bytes, self.accesses,
+                                 self.seed, ingest=spec)
         return TraceSpec(benchmark, self.llc_bytes, self.accesses, self.seed)
 
+    def scope_overrides(self) -> Optional[Dict[str, Dict[str, Any]]]:
+        """Per-workload Stage-1 scope overrides for ingested entries."""
+        if not self.ingest:
+            return None
+        return {spec.name: ingest_scope(spec.payload())
+                for spec in self.ingest}
+
     def build(self) -> List[Segment]:
-        """All segments, in :func:`all_segments` (sorted-suite) order."""
-        return all_segments(self.llc_bytes, self.accesses, self.seed,
-                            names=list(self.names))
+        """All segments, in sorted-workload (suite) order."""
+        segments: List[Segment] = []
+        for name in self.workloads():
+            segments.extend(self.trace_spec(name).build())
+        return segments
 
 
 # -- per-worker-process memoization ---------------------------------------
@@ -318,9 +390,8 @@ def _segments(spec: TraceSpec,
 def _suite_segments(suite: SuiteSpec,
                     artifacts: Optional[ArtifactCache]) -> List[Segment]:
     """Suite segments in :meth:`SuiteSpec.build` order, artifact-cached."""
-    names = sorted(suite.names) if suite.names else sorted(benchmark_names())
     segments: List[Segment] = []
-    for name in names:
+    for name in suite.workloads():
         segments.extend(_segments(suite.trace_spec(name), artifacts))
     return segments
 
@@ -347,11 +418,12 @@ def _runner_key(kind: str, hierarchy: HierarchyConfig,
 
 def _stage1_store(artifacts: Optional[ArtifactCache], llc_bytes: int,
                   accesses: int, seed: int, hierarchy: HierarchyConfig,
-                  prefetch: bool):
+                  prefetch: bool, scope_overrides=None):
     if artifacts is None:
         return None
     return artifacts.stage1_store(
-        _scope_payload(llc_bytes, accesses, seed), hierarchy, prefetch
+        _scope_payload(llc_bytes, accesses, seed), hierarchy, prefetch,
+        scope_overrides=scope_overrides,
     )
 
 
@@ -363,12 +435,15 @@ def _single_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
                       spec.scope(), root)
     runner = _RUNNERS.get(key)
     if runner is None:
+        overrides = (None if spec.ingest is None
+                     else {spec.ingest.name: spec.stage1_scope()})
         runner = SingleThreadRunner(
             hierarchy, timing=timing, prefetch=prefetch,
             warmup_fraction=warmup_fraction,
             stage1_store=_stage1_store(artifacts, spec.llc_bytes,
                                        spec.accesses, spec.seed,
-                                       hierarchy, prefetch),
+                                       hierarchy, prefetch,
+                                       scope_overrides=overrides),
         )
         _RUNNERS[key] = runner
     return runner
@@ -387,7 +462,8 @@ def _multi_runner(hierarchy: HierarchyConfig, timing: Optional[TimingConfig],
             warmup_fraction=warmup_fraction,
             stage1_store=_stage1_store(artifacts, suite.llc_bytes,
                                        suite.accesses, suite.seed,
-                                       hierarchy, prefetch),
+                                       hierarchy, prefetch,
+                                       scope_overrides=suite.scope_overrides()),
         )
         _RUNNERS[key] = runner
     return runner
@@ -410,7 +486,8 @@ def _search_evaluator(suite: SuiteSpec, hierarchy: HierarchyConfig,
             prefetch=prefetch,
             stage1_store=_stage1_store(artifacts, suite.llc_bytes,
                                        suite.accesses, suite.seed,
-                                       hierarchy, prefetch),
+                                       hierarchy, prefetch,
+                                       scope_overrides=suite.scope_overrides()),
         )
         _RUNNERS[key] = evaluator
     return evaluator
@@ -668,11 +745,14 @@ class MaterializeCell:
         trace_seconds = time.perf_counter() - started
         computed_trace = (stats is not None
                           and stats.trace_misses > misses_before)
+        overrides = (None if self.trace.ingest is None
+                     else {self.trace.ingest.name: self.trace.stage1_scope()})
         runner = SingleThreadRunner(
             self.hierarchy, prefetch=self.prefetch,
             stage1_store=_stage1_store(artifacts, self.trace.llc_bytes,
                                        self.trace.accesses, self.trace.seed,
-                                       self.hierarchy, self.prefetch),
+                                       self.hierarchy, self.prefetch,
+                                       scope_overrides=overrides),
         )
         wanted = set(self.segment_names)
         computed = runner.prime_segments(

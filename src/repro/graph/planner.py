@@ -74,8 +74,7 @@ def _cell_inputs(cell: Any) -> Optional[List[Tuple[Any, Any, bool, List[str]]]]:
     kind = getattr(cell, "kind", None)
     if kind == "single":
         spec = cell.trace
-        return [(spec, cell.hierarchy, cell.prefetch,
-                 segment_names(spec.benchmark))]
+        return [(spec, cell.hierarchy, cell.prefetch, _spec_segments(spec))]
     if kind == "mix":
         by_benchmark: Dict[str, List[str]] = {}
         for name in cell.segment_names:
@@ -88,13 +87,47 @@ def _cell_inputs(cell: Any) -> Optional[List[Tuple[Any, Any, bool, List[str]]]]:
         ]
     if kind in ("search", "search-batch"):
         suite = cell.suite
-        names = suite.names or tuple(benchmark_names())
+        workloads = getattr(suite, "workloads", None)
+        names = (workloads() if workloads is not None
+                 else sorted(suite.names or benchmark_names()))
         return [
             (suite.trace_spec(benchmark), cell.hierarchy, cell.prefetch,
-             segment_names(benchmark))
+             _spec_segments(suite.trace_spec(benchmark)))
             for benchmark in sorted(names)
         ]
     return None
+
+
+def _spec_segments(spec: Any) -> List[str]:
+    """Static segment names for a trace spec, registry or ingested."""
+    names = getattr(spec, "segment_names", None)
+    if names is not None:
+        return names()
+    return segment_names(spec.benchmark)
+
+
+def _spec_scope(spec: Any) -> Dict[str, Any]:
+    """Stage-1 scope for a trace spec, hashed exactly as the runner's."""
+    scope = getattr(spec, "stage1_scope", None)
+    if scope is not None:
+        return scope()
+    return scope_payload(spec.llc_bytes, spec.accesses, spec.seed)
+
+
+def _spec_trace_accesses(spec: Any) -> int:
+    """Total accesses the spec's trace node covers (cost-model input)."""
+    ingest = getattr(spec, "ingest", None)
+    if ingest is not None:
+        return ingest.accesses * ingest.segments
+    return spec.accesses * len(get_benchmark(spec.benchmark).segments)
+
+
+def _spec_segment_accesses(spec: Any) -> int:
+    """Accesses per segment (Stage-1 node cost-model input)."""
+    ingest = getattr(spec, "ingest", None)
+    if ingest is not None:
+        return ingest.accesses
+    return spec.accesses
 
 
 def plan_cells(items: Sequence[Tuple[Any, str]], store: ResultStore,
@@ -116,12 +149,11 @@ def plan_cells(items: Sequence[Tuple[Any, str]], store: ResultStore,
         for spec, hierarchy, prefetch, seg_names in inputs:
             trace_payload = spec.payload()
             tkey = trace_key(trace_payload)
-            total = len(get_benchmark(spec.benchmark).segments)
             tnode = graph.add(GraphNode(
                 key=tkey, kind="trace", label=f"{spec.benchmark} trace",
-                accesses=spec.accesses * total,
+                accesses=_spec_trace_accesses(spec),
             ))
-            scope = scope_payload(spec.llc_bytes, spec.accesses, spec.seed)
+            scope = _spec_scope(spec)
             hpayload = dataclasses.asdict(hierarchy)
             hkey = stable_hash(hpayload)
             group = groups.setdefault((tkey, hkey, prefetch), {
@@ -133,7 +165,7 @@ def plan_cells(items: Sequence[Tuple[Any, str]], store: ResultStore,
                 skey = stage1_key(scope, name, hpayload, prefetch)
                 graph.add(GraphNode(
                     key=skey, kind="stage1", label=f"{name} stage1",
-                    parents=(tkey,), accesses=spec.accesses,
+                    parents=(tkey,), accesses=_spec_segment_accesses(spec),
                 ))
                 group["stage1"][skey] = name
                 snode_keys.append(skey)

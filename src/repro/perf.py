@@ -69,6 +69,16 @@ Report schema (``REPORT_SCHEMA``)::
         "graph_warm_s": float,    # scheduled against a warm cache
         "warm_speedup": float     # warm_s / graph_warm_s
       },
+      "ingest": {                 # streaming trace-decode throughput
+        "records": int,           # fixture size, records per format
+        "formats": {              # per trace format (repro.traces.ingest)
+          "<fmt>": {
+            "decode_s": float,    # full streamed decode, best-of-N
+            "records_per_s": float,
+            "file_bytes": int     # on-disk fixture size (gz'd for text)
+          }
+        }
+      },
       "dist": {                   # execution-backend dispatch overhead
         "benchmarks": [...], "policies": [...],
         "workers": int, "cells": int,
@@ -110,7 +120,7 @@ from repro.sim.single import SingleThreadRunner
 from repro.traces.trace import Segment
 from repro.traces.workloads import build_segments
 
-REPORT_SCHEMA = 7
+REPORT_SCHEMA = 8
 # Instrumentation with telemetry disabled may cost at most this
 # fraction of a Stage-2 replay (the obs layer's headline promise).
 TELEMETRY_DISABLED_BUDGET = 0.02
@@ -138,6 +148,11 @@ KERNEL_MIN_SPEEDUP = 1.5
 # cell, where a forked pool worker inherits the parent's modules.
 FLEET_MAX_SLOWDOWN = 1.15
 FLEET_STARTUP_ALLOWANCE_S = 2.0
+# Every streaming trace reader must decode at least this many records
+# per second — a floor far under steady-state (the pure-Python text
+# parser clears it by an order of magnitude on an idle host) chosen so
+# only a genuine algorithmic regression, not CI-runner noise, trips it.
+INGEST_MIN_RECORDS_PER_S = 20_000.0
 DEFAULT_REPORT = "BENCH_hotpath.json"
 DEFAULT_POLICIES = ("lru", "srrip", "mpppb-1a")
 # Cache-friendly workloads whose LLC streams are short: the shared
@@ -670,6 +685,74 @@ def bench_graph(scale: ReproScale, cache_root: str,
     }
 
 
+# -- streaming trace-decode throughput (repro.traces.ingest) ---------------
+
+
+def bench_ingest(repeats: int, records: int = 50_000) -> Dict[str, Any]:
+    """Streamed decode throughput for every real-trace reader.
+
+    Writes one synthetic fixture per format (the text fixture is
+    gzip'd, so that arm also pays decompression — the common case for
+    real trace archives), then times a full streamed decode of each.
+    The fixtures encode the *same* record sequence, so the per-format
+    numbers are directly comparable.  :func:`check_report` holds every
+    format above :data:`INGEST_MIN_RECORDS_PER_S`.
+    """
+    import gzip
+    import struct
+    import tempfile
+
+    from repro.traces.ingest import open_source
+
+    state = 0x2017
+    rows = []
+    for _ in range(records):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        rows.append((0x400 + 4 * (state % 251),
+                     0x10000 + 64 * ((state >> 16) % 4096),
+                     state % 5 == 0, state % 3, state % 11 == 0))
+
+    formats: Dict[str, Dict[str, Any]] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        champsim = os.path.join(tmp, "fixture.bin")
+        pack = struct.Struct("<QQIB3x").pack
+        with open(champsim, "wb") as handle:
+            for pc, addr, write, gap, dep in rows:
+                handle.write(pack(pc, addr, gap,
+                                  (1 if write else 0) | (2 if dep else 0)))
+
+        text = os.path.join(tmp, "fixture.trace.gz")
+        body = "\n".join(
+            f"0x{pc:x} 0x{addr:x} {'w' if write else 'r'} {gap} "
+            f"{1 if dep else 0}"
+            for pc, addr, write, gap, dep in rows
+        ) + "\n"
+        with open(text, "wb") as handle:
+            handle.write(gzip.compress(body.encode()))
+
+        csv_path = os.path.join(tmp, "fixture.csv")
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write("pc,addr,is_write,gap,dep\n")
+            for pc, addr, write, gap, dep in rows:
+                handle.write(f"{pc},{addr},{1 if write else 0},{gap},"
+                             f"{1 if dep else 0}\n")
+
+        for fmt, path in (("champsim", champsim), ("text", text),
+                          ("csv", csv_path)):
+            def decode() -> None:
+                count = sum(1 for _ in open_source(path, fmt).records())
+                assert count == records
+
+            decode_s = _best_of(repeats, decode)
+            formats[fmt] = {
+                "decode_s": round(decode_s, 6),
+                "records_per_s": (round(records / decode_s, 1)
+                                  if decode_s > 0 else float("inf")),
+                "file_bytes": os.path.getsize(path),
+            }
+    return {"records": records, "formats": formats}
+
+
 # -- distributed execution (local pool vs worker fleet) --------------------
 
 
@@ -791,6 +874,7 @@ def build_report(scale_name: str = "", benchmark: str = "soplex",
         "kernel": bench_kernel(scale, repeats),
         "timing": bench_timing(scale, benchmark, repeats),
         "telemetry": bench_telemetry(scale, benchmark, repeats),
+        "ingest": bench_ingest(repeats),
     }
     if cache_root is None:
         with tempfile.TemporaryDirectory() as tmp:
@@ -826,6 +910,8 @@ def check_report(report: Dict[str, Any],
     * Telemetry must respect both budgets: the disabled path under
       :data:`TELEMETRY_DISABLED_BUDGET`, the fully enabled replay
       under :data:`TELEMETRY_ENABLED_BUDGET` overhead.
+    * Every streaming trace reader must decode at least
+      :data:`INGEST_MIN_RECORDS_PER_S` records per second.
     * The graph-scheduled warm compare must stay within
       :data:`GRAPH_MAX_SLOWDOWN` of the unplanned warm path plus the
       fixed :data:`GRAPH_OVERHEAD_ALLOWANCE_S` planning allowance.
@@ -882,6 +968,16 @@ def check_report(report: Dict[str, Any],
                 f"the uninstrumented replay (budget "
                 f"{TELEMETRY_ENABLED_BUDGET:.0%}, tolerance x{tolerance})"
             )
+    ingest = report.get("ingest")
+    if ingest is not None:
+        for fmt, stats in sorted(ingest["formats"].items()):
+            rate = stats["records_per_s"]
+            if rate * tolerance < INGEST_MIN_RECORDS_PER_S:
+                failures.append(
+                    f"ingest: {fmt} decode {rate:,.0f} records/s under "
+                    f"the {INGEST_MIN_RECORDS_PER_S:,.0f} floor "
+                    f"(tolerance x{tolerance})"
+                )
     graph = report.get("graph")
     if graph is not None:
         warm, graph_warm = graph["warm_s"], graph["graph_warm_s"]
@@ -971,6 +1067,15 @@ def format_report(report: Dict[str, Any]) -> str:
             f"on {telemetry['enabled_s']:9.4f}s   "
             f"(off-path {telemetry['disabled_overhead']:.2%}, "
             f"null span {telemetry['null_span_ns']:.0f}ns)"
+        )
+    ingest = report.get("ingest")
+    if ingest is not None:
+        rates = "  ".join(
+            f"{fmt} {ingest['formats'][fmt]['records_per_s'] / 1e3:.0f}k/s"
+            for fmt in sorted(ingest["formats"])
+        )
+        lines.append(
+            f"  ingest  {ingest['records']} records: {rates}"
         )
     cmp_ = report["compare"]
     lines.append(

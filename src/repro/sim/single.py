@@ -82,14 +82,24 @@ class BenchmarkResult:
     benchmark: str
     segments: Tuple[SegmentResult, ...]
 
+    def _total_weight(self) -> float:
+        total_weight = sum(s.weight for s in self.segments)
+        if not self.segments or total_weight <= 0:
+            raise ValueError(
+                f"benchmark {self.benchmark!r} has no weighted segments "
+                f"to aggregate (segments={len(self.segments)}, "
+                f"total weight={total_weight})"
+            )
+        return total_weight
+
     @property
     def ipc(self) -> float:
-        total_weight = sum(s.weight for s in self.segments)
+        total_weight = self._total_weight()
         return sum(s.ipc * s.weight for s in self.segments) / total_weight
 
     @property
     def mpki(self) -> float:
-        total_weight = sum(s.weight for s in self.segments)
+        total_weight = self._total_weight()
         return sum(s.mpki * s.weight for s in self.segments) / total_weight
 
     def to_dict(self) -> Dict[str, Any]:

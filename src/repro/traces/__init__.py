@@ -1,5 +1,10 @@
 """Trace model, synthetic workload kernels, benchmark suite, and mixes."""
 
+# NOTE: repro.traces.ingest is deliberately NOT re-exported here — it
+# depends on repro.exec (ConfigError, cache keys), which depends on
+# repro.sim.hierarchy, which imports repro.traces.trace; pulling it in
+# at package init would close that cycle.  Import it directly:
+# ``from repro.traces.ingest import IngestSpec``.
 from repro.traces.holdout import (
     build_holdout_segments,
     build_holdout_suite,

@@ -1,0 +1,36 @@
+"""Streaming real-trace ingestion (DESIGN.md §17).
+
+Reads real trace formats — ChampSim-style binary records, gzip'd
+plain-text address streams, and CSV instrumentation dumps — through a
+common :class:`TraceSource` protocol that yields bounded-size record
+chunks, so multi-GB traces never fully materialize.  ``IngestSpec``
+carries the windowing recipe (skip / per-segment accesses / SimPoint
+weights) plus a content digest, and plugs into the existing
+trace/Stage-1 artifact keys unchanged.
+"""
+
+from repro.traces.ingest.readers import (
+    DEFAULT_CHUNK,
+    FORMATS,
+    TraceSource,
+    detect_format,
+    open_source,
+)
+from repro.traces.ingest.spec import (
+    IngestSpec,
+    parse_weights,
+    resolve_ingest,
+    trace_digest,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "FORMATS",
+    "TraceSource",
+    "detect_format",
+    "open_source",
+    "IngestSpec",
+    "parse_weights",
+    "resolve_ingest",
+    "trace_digest",
+]

@@ -59,14 +59,18 @@ class Trace:
     ) -> None:
         if not (len(pcs) == len(addresses) == len(writes) == len(gaps)):
             raise ValueError("trace field lengths differ")
-        if deps and len(deps) != len(pcs):
+        if len(deps) != 0 and len(deps) != len(pcs):
             raise ValueError("trace field lengths differ")
         self.name = name
         self.pcs: List[int] = list(pcs)
         self.addresses: List[int] = list(addresses)
         self.writes: List[bool] = list(writes)
         self.gaps: List[int] = list(gaps)
-        self.deps: List[bool] = list(deps) if deps else [False] * len(pcs)
+        if any(gap < 0 for gap in self.gaps):
+            raise ValueError("instruction gap must be non-negative")
+        self.deps: List[bool] = (
+            list(deps) if len(deps) else [False] * len(pcs)
+        )
         self._instr_total = sum(self.gaps) + len(self.pcs)
 
     def __len__(self) -> int:
@@ -110,8 +114,6 @@ class Trace:
         deps: List[bool] = []
         for record in accesses:
             pc, addr, write, gap = record[:4]
-            if gap < 0:
-                raise ValueError("instruction gap must be non-negative")
             pcs.append(pc)
             addresses.append(addr)
             writes.append(write)

@@ -456,6 +456,90 @@ class TestChaosPins:
         }) == SEARCH_HASH
 
 
+class TestIngestPins:
+    """Ingested-trace runs must be bit-identical across decode chunk
+    sizes, serial vs parallel execution, and cold vs warm stores —
+    chunking bounds resident decode state, never results, and the
+    digest-keyed caches must replay exactly (chunk is not keyed, so a
+    warm run with a *different* chunk size still hits every cell)."""
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        import gzip
+
+        path = tmp_path_factory.mktemp("ingest") / "real.trace.gz"
+        lines = []
+        state = 0xDEADBEEF
+        for _ in range(2_000):
+            state = (state * 6364136223846793005
+                     + 1442695040888963407) % (1 << 64)
+            pc = 0x400 + 4 * (state % 97)
+            addr = 0x10000 + 64 * ((state >> 16) % 512)
+            rw = "w" if state % 5 == 0 else "r"
+            lines.append(f"0x{pc:x} 0x{addr:x} {rw} {state % 3}")
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        return str(path)
+
+    def _cells(self, trace_file, chunk):
+        from repro.traces.ingest import resolve_ingest
+
+        spec = resolve_ingest(trace_file, accesses=600, segments=2,
+                              chunk=chunk)
+        trace = TraceSpec(spec.name, TINY.hierarchy.llc_bytes, ACCESSES,
+                          ingest=spec)
+        return [
+            SingleCell(trace=trace, policy=policy, hierarchy=TINY.hierarchy,
+                       warmup_fraction=TINY.warmup_fraction)
+            for policy in POLICIES
+        ]
+
+    @staticmethod
+    def _clear_memos():
+        from repro.exec import runner as exec_runner
+
+        exec_runner._SEGMENTS.clear()
+        exec_runner._RUNNERS.clear()
+        exec_runner._ARTIFACTS.clear()
+
+    def _hash(self, engine, cells):
+        results = engine.run(cells, label="pin/ingest")
+        assert all(result is not None for result in results)
+        return stable_hash({"results": [r.to_dict() for r in results]})
+
+    def test_chunk_sizes_and_parallelism_agree(self, trace_file):
+        hashes = set()
+        for chunk, jobs in ((512, 1), (65536, 1), (512, 2)):
+            self._clear_memos()
+            engine = ParallelRunner(jobs=jobs, store=None, verbose=False)
+            hashes.add(self._hash(engine, self._cells(trace_file, chunk)))
+        assert len(hashes) == 1
+
+    def test_cold_then_warm_store_across_chunks(self, trace_file, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        self._clear_memos()
+        cold = self._hash(ParallelRunner(jobs=1, store=store, verbose=False),
+                          self._cells(trace_file, 512))
+        self._clear_memos()
+        warm_engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        warm = self._hash(warm_engine, self._cells(trace_file, 65536))
+        assert cold == warm
+        assert warm_engine.last_report.hits == warm_engine.last_report.cells
+
+    def test_warm_artifacts_cold_results(self, trace_file, tmp_path):
+        """Results recompute from digest-keyed trace/Stage-1 artifacts."""
+        store = ResultStore(tmp_path / "cache")
+        self._clear_memos()
+        cold = self._hash(ParallelRunner(jobs=1, store=store, verbose=False),
+                          self._cells(trace_file, 512))
+        for blob in list(store.root.glob("??/*.json")):
+            blob.unlink()
+        self._clear_memos()
+        engine = ParallelRunner(jobs=1, store=store, verbose=False)
+        rebuilt = self._hash(engine, self._cells(trace_file, 65536))
+        assert cold == rebuilt
+        assert engine.last_report.hits == 0
+
+
 class TestSearchPinned:
     @pytest.mark.parametrize("mode", ["on", "off"])
     def test_stage2_batch_modes(self, mode, monkeypatch):
